@@ -1,0 +1,46 @@
+// §5.1.3 ablation — symmetric vs. asymmetric total order for request-reply
+// interactions (the figures the paper omitted "to save space", but whose
+// conclusions it states):
+//   (i)  closed + symmetric performs poorly: ordering every request needs
+//        protocol multicast traffic among *all* members (watch the
+//        wire_msgs counter grow),
+//   (ii) under the open approach there is little to choose between the two
+//        protocols: ordering happens within one small group only.
+#include "harness.hpp"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::bench;
+
+RequestReplyOptions ablation(BindMode bind, OrderMode order, int clients) {
+    RequestReplyOptions options;
+    options.setting = Setting::kLan;
+    options.servers = 3;
+    options.clients = clients;
+    options.bind = BindOptions{.mode = bind,
+                               .restricted = bind == BindMode::kOpen,
+                               .cs_order = order};
+    options.mode = InvocationMode::kWaitAll;
+    options.server_order = order;
+    return options;
+}
+
+#define NEWTOP_BENCH(name, bind, order)                                        \
+    void name(benchmark::State& state) {                                       \
+        for (auto _ : state) {                                                 \
+            report(state, RequestReplyBench::run(ablation(                     \
+                              bind, order, static_cast<int>(state.range(0))))); \
+        }                                                                       \
+    }                                                                           \
+    BENCHMARK(name)->Arg(1)->Arg(4)->Arg(8)->Iterations(1)->Unit(              \
+        benchmark::kMillisecond)
+
+NEWTOP_BENCH(BM_Ablation_Closed_Symmetric, BindMode::kClosed, OrderMode::kTotalSymmetric);
+NEWTOP_BENCH(BM_Ablation_Closed_Asymmetric, BindMode::kClosed, OrderMode::kTotalAsymmetric);
+NEWTOP_BENCH(BM_Ablation_Open_Symmetric, BindMode::kOpen, OrderMode::kTotalSymmetric);
+NEWTOP_BENCH(BM_Ablation_Open_Asymmetric, BindMode::kOpen, OrderMode::kTotalAsymmetric);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Graphs 11-16 — closed vs. open group invocation.
+//
+// Three servers with the asymmetric ordering protocol, clients invoking
+// wait-for-all (the paper's §5.1.3 configuration):
+//   Graphs 11-12: clients & servers on the same LAN,
+//   Graphs 13-14: servers on the LAN, clients distant,
+//   Graphs 15-16: everything geographically distributed.
+//
+// Expected shapes: within the LAN the two approaches are close (closed buys
+// automatic failure masking almost for free); once clients sit behind
+// high-latency paths the open approach wins clearly — the client stays out
+// of the servers' group protocol and pays a single WAN round trip.
+#include "harness.hpp"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::bench;
+
+RequestReplyOptions with_bind(Setting setting, int clients, BindMode bind) {
+    RequestReplyOptions options;
+    options.setting = setting;
+    options.servers = 3;
+    options.clients = clients;
+    options.bind = BindOptions{.mode = bind, .restricted = bind == BindMode::kOpen};
+    options.mode = InvocationMode::kWaitAll;
+    options.server_order = OrderMode::kTotalAsymmetric;
+    return options;
+}
+
+#define NEWTOP_BENCH(name, setting, bind)                                     \
+    void name(benchmark::State& state) {                                      \
+        for (auto _ : state) {                                                \
+            report(state, RequestReplyBench::run(with_bind(                   \
+                              setting, static_cast<int>(state.range(0)), bind))); \
+        }                                                                      \
+    }                                                                          \
+    BENCHMARK(name)->DenseRange(1, 19, 3)->Arg(20)->Iterations(1)->Unit(      \
+        benchmark::kMillisecond)
+
+NEWTOP_BENCH(BM_Graphs11and12_Closed_Lan, Setting::kLan, BindMode::kClosed);
+NEWTOP_BENCH(BM_Graphs11and12_Open_Lan, Setting::kLan, BindMode::kOpen);
+NEWTOP_BENCH(BM_Graphs13and14_Closed_DistantClients, Setting::kDistantClients,
+             BindMode::kClosed);
+NEWTOP_BENCH(BM_Graphs13and14_Open_DistantClients, Setting::kDistantClients,
+             BindMode::kOpen);
+NEWTOP_BENCH(BM_Graphs15and16_Closed_Geo, Setting::kGeo, BindMode::kClosed);
+NEWTOP_BENCH(BM_Graphs15and16_Open_Geo, Setting::kGeo, BindMode::kOpen);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Graphs 1-4 — non-replicated server accessed *through* the NewTop service.
+//
+// A single-member server group, open binding, 1..20 closed-loop clients.
+//   Graphs 1-2: clients on the server's LAN (latency / throughput),
+//   Graphs 3-4: clients distant (London + Pisa), server in Newcastle.
+//
+// Expected shapes (§5.1.1): the single NewTop call costs ~2.5x a plain
+// CORBA call (~2.5 ms LAN, ~29 ms Internet); on the LAN one client already
+// saturates the server so latency climbs with clients while throughput
+// flattens; over the Internet throughput keeps growing with clients and
+// latency stays roughly flat.
+#include "harness.hpp"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::bench;
+
+RequestReplyOptions nonreplicated(Setting setting, int clients) {
+    RequestReplyOptions options;
+    options.setting = setting;
+    options.servers = 1;
+    options.clients = clients;
+    options.bind = BindOptions{.mode = BindMode::kOpen, .restricted = true};
+    options.mode = InvocationMode::kWaitFirst;
+    options.server_order = OrderMode::kTotalAsymmetric;
+    return options;
+}
+
+void BM_Graphs1and2_NonReplicated_Lan(benchmark::State& state) {
+    for (auto _ : state) {
+        report(state, RequestReplyBench::run(
+                          nonreplicated(Setting::kLan, static_cast<int>(state.range(0)))));
+    }
+}
+BENCHMARK(BM_Graphs1and2_NonReplicated_Lan)
+    ->DenseRange(1, 19, 3)
+    ->Arg(20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Graphs3and4_NonReplicated_DistantClients(benchmark::State& state) {
+    for (auto _ : state) {
+        report(state,
+               RequestReplyBench::run(nonreplicated(Setting::kDistantClients,
+                                                    static_cast<int>(state.range(0)))));
+    }
+}
+BENCHMARK(BM_Graphs3and4_NonReplicated_DistantClients)
+    ->DenseRange(1, 19, 3)
+    ->Arg(20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

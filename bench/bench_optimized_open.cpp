@@ -1,0 +1,67 @@
+// Graphs 5-10 — the optimised open group (restricted request manager +
+// asynchronous message forwarding, §4.2) against the non-replicated server.
+//
+// Three servers, asymmetric ordering, wait-for-first; the request manager
+// is the sequencer so its forward self-orders, and it answers from its own
+// execution while pushing the request one-way to the other members — the
+// passive-replication shape.
+//
+//   Graphs 5-6: clients & servers on the same LAN,
+//   Graphs 7-8: servers on the LAN, clients distant,
+//   Graphs 9-10: everything geographically distributed.
+//
+// Expected shape (§5.1.2): the optimised group invocation "closely matches
+// the performance of the non-replicated invocation" in every setting.
+#include "harness.hpp"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::bench;
+
+RequestReplyOptions optimized(Setting setting, int clients) {
+    RequestReplyOptions options;
+    options.setting = setting;
+    options.servers = 3;
+    options.clients = clients;
+    options.bind = BindOptions{
+        .mode = BindMode::kOpen, .restricted = true, .async_forwarding = true};
+    options.mode = InvocationMode::kWaitFirst;
+    options.server_order = OrderMode::kTotalAsymmetric;
+    return options;
+}
+
+RequestReplyOptions baseline(Setting setting, int clients) {
+    RequestReplyOptions options = optimized(setting, clients);
+    options.servers = 1;
+    options.bind = BindOptions{.mode = BindMode::kOpen, .restricted = true};
+    return options;
+}
+
+#define NEWTOP_BENCH(name, fn)                                             \
+    void name(benchmark::State& state) {                                   \
+        for (auto _ : state) {                                             \
+            report(state, RequestReplyBench::run(                          \
+                              fn(static_cast<int>(state.range(0)))));      \
+        }                                                                   \
+    }                                                                       \
+    BENCHMARK(name)->DenseRange(1, 19, 3)->Arg(20)->Iterations(1)->Unit(   \
+        benchmark::kMillisecond)
+
+RequestReplyOptions optimized_lan(int c) { return optimized(Setting::kLan, c); }
+RequestReplyOptions baseline_lan(int c) { return baseline(Setting::kLan, c); }
+RequestReplyOptions optimized_distant(int c) { return optimized(Setting::kDistantClients, c); }
+RequestReplyOptions baseline_distant(int c) { return baseline(Setting::kDistantClients, c); }
+RequestReplyOptions optimized_geo(int c) { return optimized(Setting::kGeo, c); }
+RequestReplyOptions baseline_geo(int c) { return baseline(Setting::kGeo, c); }
+
+NEWTOP_BENCH(BM_Graphs5and6_OptimizedOpen_Lan, optimized_lan);
+NEWTOP_BENCH(BM_Graphs5and6_NonReplicated_Lan, baseline_lan);
+NEWTOP_BENCH(BM_Graphs7and8_OptimizedOpen_DistantClients, optimized_distant);
+NEWTOP_BENCH(BM_Graphs7and8_NonReplicated_DistantClients, baseline_distant);
+NEWTOP_BENCH(BM_Graphs9and10_OptimizedOpen_Geo, optimized_geo);
+NEWTOP_BENCH(BM_Graphs9and10_NonReplicated_Geo, baseline_geo);
+
+}  // namespace
+
+BENCHMARK_MAIN();

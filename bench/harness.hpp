@@ -1,0 +1,226 @@
+// Shared benchmark harness reproducing the paper's evaluation setups (§5).
+//
+// Network settings mirror the three client/server group configurations:
+//   (i)   low latency: clients and servers on the same LAN,
+//   (ii)  low + high latency: servers on the Newcastle LAN, clients split
+//         between London and Pisa,
+//   (iii) high latency: servers and clients spread over Newcastle, London
+//         and Pisa.
+//
+// Client behaviour follows §5.1: closed-loop clients ("as soon as a reply
+// is received, another request is issued"), each timed over a fixed number
+// of requests after a short warm-up; we report the mean response time per
+// request and the aggregate server throughput.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "net/calibration.hpp"
+#include "newtop/newtop_service.hpp"
+
+namespace newtop::bench {
+
+using namespace sim_literals;
+
+enum class Setting { kLan, kDistantClients, kGeo };
+
+inline const char* setting_name(Setting s) {
+    switch (s) {
+        case Setting::kLan: return "lan";
+        case Setting::kDistantClients: return "distant-clients";
+        case Setting::kGeo: return "geo-distributed";
+    }
+    return "?";
+}
+
+/// The paper's benchmark servant: returns a pseudo-random number.
+class RandomNumberServant : public GroupServant {
+public:
+    explicit RandomNumberServant(std::uint64_t seed) : rng_(seed) {}
+
+    Bytes handle(std::uint32_t, const Bytes&) override {
+        return encode_to_bytes(rng_.next_u64());
+    }
+
+private:
+    Rng rng_;
+};
+
+struct RequestReplyResult {
+    double mean_latency_ms{0.0};
+    double throughput_rps{0.0};
+    std::uint64_t wire_messages{0};
+};
+
+struct RequestReplyOptions {
+    Setting setting{Setting::kLan};
+    int servers{3};
+    int clients{1};
+    BindOptions bind{};
+    InvocationMode mode{InvocationMode::kWaitFirst};
+    OrderMode server_order{OrderMode::kTotalAsymmetric};
+    int requests_per_client{100};
+    int warmup_per_client{5};
+    std::uint64_t seed{1};
+};
+
+/// One complete request/reply experiment: build the world, run the closed
+/// loops, report latency and throughput.
+class RequestReplyBench {
+public:
+    static RequestReplyResult run(const RequestReplyOptions& options) {
+        RequestReplyBench bench(options);
+        return bench.execute();
+    }
+
+private:
+    explicit RequestReplyBench(const RequestReplyOptions& options)
+        : options_(options),
+          sites_(calibration::make_paper_topology()),
+          network_(scheduler_, std::move(sites_.topology), options.seed) {}
+
+    struct Client {
+        std::unique_ptr<Orb> orb;
+        std::unique_ptr<NewTopService> nso;
+        GroupProxy proxy;
+        int completed{0};
+        SimTime issued_at{0};
+        SimTime first_measured_issue{-1};
+        SimTime last_completion{0};
+        std::vector<SimDuration> latencies;
+    };
+
+    [[nodiscard]] SiteId server_site(int index) const {
+        if (options_.setting == Setting::kGeo) {
+            const SiteId spread[3] = {sites_.newcastle, sites_.london, sites_.pisa};
+            return spread[index % 3];
+        }
+        return sites_.newcastle;
+    }
+
+    [[nodiscard]] SiteId client_site(int index) const {
+        switch (options_.setting) {
+            case Setting::kLan: return sites_.newcastle;
+            case Setting::kDistantClients:
+                return index % 2 == 0 ? sites_.london : sites_.pisa;
+            case Setting::kGeo: {
+                const SiteId spread[3] = {sites_.newcastle, sites_.london, sites_.pisa};
+                return spread[index % 3];
+            }
+        }
+        return sites_.newcastle;
+    }
+
+    void issue_next(Client& client) {
+        client.issued_at = scheduler_.now();
+        if (client.completed == options_.warmup_per_client &&
+            client.first_measured_issue < 0) {
+            client.first_measured_issue = scheduler_.now();
+        }
+        client.proxy.invoke(1, Bytes{}, options_.mode, [this, &client](const GroupReply&) {
+            on_completion(client);
+        });
+    }
+
+    void on_completion(Client& client) {
+        if (client.completed >= options_.warmup_per_client) {
+            client.latencies.push_back(scheduler_.now() - client.issued_at);
+            client.last_completion = scheduler_.now();
+        }
+        ++client.completed;
+        if (client.completed < options_.warmup_per_client + options_.requests_per_client) {
+            issue_next(client);
+        }
+    }
+
+    RequestReplyResult execute() {
+        // Servers.
+        GroupConfig server_config;
+        server_config.order = options_.server_order;
+        for (int i = 0; i < options_.servers; ++i) {
+            server_orbs_.push_back(
+                std::make_unique<Orb>(network_, network_.add_node(server_site(i))));
+            server_nsos_.push_back(
+                std::make_unique<NewTopService>(*server_orbs_.back(), directory_));
+            server_nsos_.back()->serve("svc", server_config,
+                                       std::make_shared<RandomNumberServant>(options_.seed));
+            scheduler_.run_until(scheduler_.now() + 300_ms);
+        }
+
+        // Clients.
+        for (int i = 0; i < options_.clients; ++i) {
+            auto client = std::make_unique<Client>();
+            client->orb = std::make_unique<Orb>(network_, network_.add_node(client_site(i)));
+            client->nso = std::make_unique<NewTopService>(*client->orb, directory_);
+            client->proxy = client->nso->bind("svc", options_.bind);
+            clients_.push_back(std::move(client));
+        }
+        scheduler_.run_until(scheduler_.now() + 2_s);  // bindings settle
+
+        const std::uint64_t wire_before = network_.stats().messages_sent;
+        for (auto& client : clients_) issue_next(*client);
+
+        // Run until every client has finished its measured batch (bounded
+        // for safety: a wedged configuration shows up as zero throughput).
+        const int total = options_.warmup_per_client + options_.requests_per_client;
+        const SimDuration step = 1_s;
+        for (int guard = 0; guard < 600; ++guard) {
+            scheduler_.run_until(scheduler_.now() + step);
+            bool all_done = true;
+            for (const auto& client : clients_) all_done &= client->completed >= total;
+            if (all_done) break;
+        }
+
+        RequestReplyResult result;
+        result.wire_messages = network_.stats().messages_sent - wire_before;
+        std::vector<double> per_client_means;
+        SimTime first_issue = -1;
+        SimTime last_completion = 0;
+        std::size_t measured = 0;
+        for (const auto& client : clients_) {
+            if (client->latencies.empty()) continue;
+            const double sum = std::accumulate(client->latencies.begin(),
+                                               client->latencies.end(), 0.0);
+            per_client_means.push_back(sum / static_cast<double>(client->latencies.size()));
+            measured += client->latencies.size();
+            if (first_issue < 0 || client->first_measured_issue < first_issue) {
+                first_issue = client->first_measured_issue;
+            }
+            last_completion = std::max(last_completion, client->last_completion);
+        }
+        if (!per_client_means.empty()) {
+            result.mean_latency_ms =
+                to_ms(static_cast<SimDuration>(std::accumulate(per_client_means.begin(),
+                                                               per_client_means.end(), 0.0) /
+                                               static_cast<double>(per_client_means.size())));
+        }
+        if (last_completion > first_issue && first_issue >= 0) {
+            result.throughput_rps = static_cast<double>(measured) /
+                                    to_seconds(last_completion - first_issue);
+        }
+        return result;
+    }
+
+    RequestReplyOptions options_;
+    Scheduler scheduler_;
+    calibration::PaperSites sites_;
+    Network network_;
+    Directory directory_;
+    std::vector<std::unique_ptr<Orb>> server_orbs_;
+    std::vector<std::unique_ptr<NewTopService>> server_nsos_;
+    std::vector<std::unique_ptr<Client>> clients_;
+};
+
+/// Attach the standard result counters to a google-benchmark state.
+inline void report(::benchmark::State& state, const RequestReplyResult& result) {
+    state.counters["latency_ms"] = result.mean_latency_ms;
+    state.counters["req_per_s"] = result.throughput_rps;
+    state.counters["wire_msgs"] = static_cast<double>(result.wire_messages);
+}
+
+}  // namespace newtop::bench

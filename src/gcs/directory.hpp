@@ -1,0 +1,69 @@
+// Bootstrap directory (naming service).
+//
+// Endpoints register their service IORs here and groups are named here.
+// This stands in for the out-of-band configuration a deployment would use
+// (a CORBA naming service, config files): it is consulted only to find an
+// endpoint's IOR and a group's id/config/contact hint — every protocol
+// interaction (join, membership agreement, multicast) then travels through
+// the simulated network.  The membership hint is advisory and may be stale;
+// the join protocol tolerates that by contacting several hint members.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "orb/ior.hpp"
+
+namespace newtop {
+
+class Directory {
+public:
+    struct GroupInfo {
+        GroupId id;
+        std::string name;
+        GroupConfig config;
+        /// Last membership reported by an installer; advisory only.
+        std::vector<EndpointId> contact_hint;
+    };
+
+    /// Register an endpoint's GCS servant reference; returns its identity.
+    EndpointId register_endpoint(Ior service_ior);
+
+    /// IOR of a registered endpoint's GCS servant.
+    [[nodiscard]] const Ior& endpoint_ior(EndpointId id) const;
+
+    /// Register the NewTop service object (NSO) management reference that
+    /// fronts an endpoint (used for client/server group invitations and
+    /// closed-mode direct replies).
+    void register_nso(EndpointId id, Ior nso_ior);
+    [[nodiscard]] const Ior& nso_ior(EndpointId id) const;
+
+    /// Register a new group.  Throws if the name is taken.
+    GroupId register_group(const std::string& name, const GroupConfig& config,
+                           EndpointId creator);
+
+    [[nodiscard]] const GroupInfo* find_group(const std::string& name) const;
+    [[nodiscard]] const GroupInfo* find_group(GroupId id) const;
+
+    /// Called by members when they install a view, to refresh the hint.
+    void update_contact_hint(GroupId id, std::vector<EndpointId> members);
+
+    /// Generic named-object registry (a tiny naming service) used by
+    /// subsystems that need to find each other's auxiliary objects, e.g.
+    /// replication state-transfer servants.
+    void register_object(const std::string& name, Ior ior);
+    [[nodiscard]] const Ior* find_object(const std::string& name) const;
+
+private:
+    std::vector<Ior> endpoint_iors_;
+    std::map<EndpointId, Ior> nso_iors_;
+    std::map<std::string, Ior> objects_;
+    std::map<std::string, GroupInfo> groups_by_name_;
+    std::map<GroupId, std::string> names_by_id_;
+    GroupId::rep_type next_group_{1};
+};
+
+}  // namespace newtop

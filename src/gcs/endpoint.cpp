@@ -1,0 +1,522 @@
+// GroupCommEndpoint: construction, wiring, and the message data path.
+// Membership agreement lives in endpoint_membership.cpp; the time-silence /
+// suspicion / stability machinery in endpoint_liveness.cpp.
+#include "gcs/endpoint.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "net/calibration.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace newtop {
+
+using namespace sim_literals;
+
+namespace {
+
+/// Initial delay before NACKing a detected gap (lets slightly-reordered
+/// traffic settle), and the retry period afterwards.
+constexpr SimDuration kNackDelay = 2_ms;
+constexpr SimDuration kNackRetry = 10_ms;
+
+Bytes encode_order_payload(const OrderMsg& order) {
+    Encoder e;
+    encode(e, order.first_order);
+    encode(e, order.refs);
+    return std::move(e).take();
+}
+
+OrderMsg decode_order_payload(const DataMsg& msg) {
+    Decoder d(msg.payload);
+    OrderMsg order;
+    order.group = msg.group;
+    order.epoch = msg.epoch;
+    decode(d, order.first_order);
+    decode(d, order.refs);
+    if (!d.exhausted()) throw DecodeError("trailing bytes in order payload");
+    return order;
+}
+
+}  // namespace
+
+/// The endpoint's ORB-visible object; peers invoke its single "deliver"
+/// method with an encoded GcsMessage.
+class GroupCommEndpoint::GcsServant : public Servant {
+public:
+    explicit GcsServant(GroupCommEndpoint* owner) : owner_(owner) {}
+
+    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+        if (method != kGcsDeliverMethod) throw ServantError("unknown GCS method");
+        owner_->on_wire(args);
+        return {};
+    }
+
+    [[nodiscard]] SimDuration execution_cost(std::uint32_t) const override {
+        return calibration::kProtocolCost;
+    }
+
+private:
+    GroupCommEndpoint* owner_;
+};
+
+GroupCommEndpoint::GroupCommEndpoint(Orb& orb, Directory& directory)
+    : orb_(&orb), directory_(&directory) {
+    service_ior_ = orb_->adapter().activate(std::make_shared<GcsServant>(this), "NewTopGCS");
+    id_ = directory_->register_endpoint(service_ior_);
+}
+
+// -- small accessors ----------------------------------------------------------
+
+GroupCommEndpoint::Group* GroupCommEndpoint::find_group(GroupId id) {
+    const auto it = groups_.find(id);
+    return it == groups_.end() ? nullptr : &it->second;
+}
+
+const GroupCommEndpoint::Group* GroupCommEndpoint::find_group(GroupId id) const {
+    const auto it = groups_.find(id);
+    return it == groups_.end() ? nullptr : &it->second;
+}
+
+bool GroupCommEndpoint::is_member(GroupId group) const {
+    const Group* g = find_group(group);
+    return g != nullptr && g->installed && g->view.contains(id_);
+}
+
+const View* GroupCommEndpoint::current_view(GroupId group) const {
+    const Group* g = find_group(group);
+    return (g != nullptr && g->installed) ? &g->view : nullptr;
+}
+
+const GroupConfig* GroupCommEndpoint::group_config(GroupId group) const {
+    const Group* g = find_group(group);
+    return g == nullptr ? nullptr : &g->config;
+}
+
+GroupCommEndpoint::GroupStats GroupCommEndpoint::group_stats(GroupId group) const {
+    const Group* g = find_group(group);
+    NEWTOP_EXPECTS(g != nullptr, "unknown group");
+    GroupStats stats;
+    stats.epoch = g->view.epoch;
+    stats.in_view_change = g->state == Group::State::kViewChange;
+    stats.unstable = g->unstable.size();
+    stats.nulls_sent = g->nulls_sent;
+    stats.delivered = g->delivered_count;
+    switch (g->config.order) {
+        case OrderMode::kTotalSymmetric: stats.holdback = g->symmetric.has_pending() ? 1 : 0; break;
+        case OrderMode::kTotalAsymmetric: stats.holdback = g->sequencer.has_pending() ? 1 : 0; break;
+        case OrderMode::kCausal: stats.holdback = g->causal.has_pending() ? 1 : 0; break;
+    }
+    return stats;
+}
+
+// -- wiring ---------------------------------------------------------------------
+
+bool GroupCommEndpoint::process_crashed() const {
+    return orb_->network().node(orb_->node_id()).crashed();
+}
+
+void GroupCommEndpoint::on_wire(const Bytes& payload) {
+    if (process_crashed()) return;
+    GcsMessage msg;
+    try {
+        msg = decode_gcs_message(payload);
+    } catch (const DecodeError& err) {
+        NEWTOP_WARN("endpoint " << id_ << ": dropping malformed GCS message: " << err.what());
+        return;
+    }
+    std::visit(
+        [this](auto&& body) {
+            using T = std::decay_t<decltype(body)>;
+            if constexpr (std::is_same_v<T, DataMsg>) handle_data(std::move(body));
+            else if constexpr (std::is_same_v<T, NackMsg>) handle_nack(body);
+            else if constexpr (std::is_same_v<T, OrderMsg>) { /* order records ride DataMsg */ }
+            else if constexpr (std::is_same_v<T, JoinReq>) handle_join(body);
+            else if constexpr (std::is_same_v<T, LeaveReq>) handle_leave(body);
+            else if constexpr (std::is_same_v<T, SuspectMsg>) handle_suspect(body);
+            else if constexpr (std::is_same_v<T, ProposeMsg>) handle_propose(body);
+            else if constexpr (std::is_same_v<T, FlushMsg>) handle_flush(body);
+            else if constexpr (std::is_same_v<T, InstallMsg>) handle_install(body);
+        },
+        std::move(msg));
+}
+
+namespace {
+/// GCS traffic travels as *synchronous* ORB invocations (§2.2: "multicasting
+/// has been implemented by making synchronous invocations in turn to all the
+/// members", with threads for parallelism) — so every protocol leg costs a
+/// full ORB round trip, which is exactly why a NewTop call measures ~2.5x a
+/// plain CORBA call in §5.1.1.  The reply is empty and ignored; the timeout
+/// merely garbage-collects calls to crashed peers.
+constexpr SimDuration kGcsCallTimeout = 60_s;
+}  // namespace
+
+void GroupCommEndpoint::send_wire(EndpointId to, const GcsMessage& msg) {
+    if (to == id_) {
+        // Local short-circuit (e.g. coordinator flushing to itself).
+        on_wire(encode_gcs_message(msg));
+        return;
+    }
+    orb_->invoke(directory_->endpoint_ior(to), kGcsDeliverMethod, encode_gcs_message(msg),
+                 [](ReplyStatus, const Bytes&) {}, kGcsCallTimeout);
+}
+
+void GroupCommEndpoint::multicast_wire(const Group& g, const GcsMessage& msg) {
+    // The paper-era ORB has no multicast: the endpoint issues one synchronous
+    // invocation per member (threads give wire-parallelism; the CPU
+    // serializes the marshalling) — §2.2.
+    const Bytes wire = encode_gcs_message(msg);
+    for (const EndpointId member : g.view.members) {
+        if (member == id_) continue;
+        orb_->invoke(directory_->endpoint_ior(member), kGcsDeliverMethod, wire,
+                     [](ReplyStatus, const Bytes&) {}, kGcsCallTimeout);
+    }
+}
+
+// -- group management entry points -------------------------------------------
+
+GroupId GroupCommEndpoint::create_group(const std::string& name, const GroupConfig& config) {
+    const GroupId id = directory_->register_group(name, config, id_);
+    Group& g = groups_[id];
+    g.id = id;
+    g.name = name;
+    g.config = config;
+    install_first_view(g);
+    return id;
+}
+
+GroupId GroupCommEndpoint::join_group(const std::string& name) {
+    const Directory::GroupInfo* info = directory_->find_group(name);
+    NEWTOP_EXPECTS(info != nullptr, "no such group");
+    if (is_member(info->id)) return info->id;
+    if (!pending_joins_.contains(name)) {
+        pending_joins_[name] = 0;
+        on_join_retry(name);  // first attempt immediately
+    }
+    return info->id;
+}
+
+void GroupCommEndpoint::leave_group(GroupId group) {
+    Group* g = find_group(group);
+    NEWTOP_EXPECTS(g != nullptr && g->installed, "not a member of this group");
+    if (g->view.members.size() == 1) {
+        // Last member: the group simply disbands around us.
+        const GroupId id = g->id;
+        stop_liveness(*g);
+        groups_.erase(id);
+        if (removed_handler_) removed_handler_(id);
+        return;
+    }
+    g->pending_leavers.insert(id_);
+    multicast_wire(*g, LeaveReq{g->id, id_});
+    maybe_start_view_change(*g);
+}
+
+void GroupCommEndpoint::multicast(GroupId group, Bytes payload) {
+    Group* g = find_group(group);
+    NEWTOP_EXPECTS(g != nullptr, "unknown group");
+    NEWTOP_EXPECTS(g->installed || g->state == Group::State::kViewChange,
+                   "group not yet joined");
+    if (g->state == Group::State::kViewChange || !g->installed) {
+        g->blocked_sends.push_back(std::move(payload));
+        return;
+    }
+    send_data(*g, DataKind::kApplication, std::move(payload));
+}
+
+// -- data path ------------------------------------------------------------------
+
+void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload) {
+    DataMsg msg;
+    msg.group = g.id;
+    msg.epoch = g.view.epoch;
+    msg.sender = id_;
+    msg.ts = ++clock_;
+    msg.kind = kind;
+    msg.payload = std::move(payload);
+    if (kind == DataKind::kNull) {
+        msg.seq = 0;  // nulls are ephemeral: no stream seqno, no retransmit
+        msg.received_counts = received_counts(g);
+        ++g.nulls_sent;
+    } else {
+        msg.seq = g.next_send_seq++;
+        g.unstable.emplace(MsgRef{id_, msg.seq}, msg);
+    }
+    if (kind == DataKind::kApplication) {
+        msg.knowledge = knowledge_snapshot(g.id);
+        if (g.config.order == OrderMode::kCausal) {
+            msg.causal_vc = g.causal.delivered_vector();
+        }
+        note_knowledge(g.id, msg.epoch, id_, msg.seq + 1);
+    }
+
+    g.last_send_time = orb_->scheduler().now();
+    g.ever_sent = true;
+    g.received_since_send = false;
+    g.last_sent_ts = msg.ts;
+
+    multicast_wire(g, msg);
+
+    // Local self-ingest: feed our own message straight to the engine.
+    switch (g.config.order) {
+        case OrderMode::kTotalSymmetric: g.symmetric.on_data(msg); break;
+        case OrderMode::kTotalAsymmetric:
+            if (msg.kind == DataKind::kOrder) {
+                // Our own order record: assignments already in the engine.
+            } else {
+                g.sequencer.on_data(msg);
+            }
+            break;
+        case OrderMode::kCausal: g.causal.on_data(msg); break;
+    }
+    pump(g);
+    kick_liveness(g);
+}
+
+void GroupCommEndpoint::handle_data(DataMsg msg) {
+    clock_ = std::max(clock_, msg.ts);
+    Group* gp = find_group(msg.group);
+    if (gp == nullptr) return;  // never knew this group (or already removed)
+    Group& g = *gp;
+    if (!g.installed) return;  // joiner skeleton: the install cut covers us
+
+    if (msg.epoch != g.view.epoch) return;  // stale epoch, or a future one:
+    // future-epoch senders keep it in their unstable store, and the NACK
+    // triggered by their next message (or the install cut) recovers it.
+
+    if (!g.view.contains(msg.sender)) return;  // ejected member's straggler
+
+    auto& stream = g.inbound[msg.sender];
+    stream.last_heard = orb_->scheduler().now();
+    g.received_since_send = true;
+
+    if (msg.kind == DataKind::kNull) {
+        // The null advertises the sender's own send count; if we hold its
+        // full stream we may let the null's timestamp advance the symmetric
+        // order.  Otherwise a lost message with a lower timestamp could
+        // still be in flight (retransmission), and advancing would break
+        // the total order — so we NACK instead and wait.
+        Seqno sender_count = 0;
+        for (const auto& [member, count] : msg.received_counts) {
+            if (member == msg.sender) sender_count = count;
+        }
+        const bool stream_complete = sender_count <= stream.next_expected;
+        if (g.config.order == OrderMode::kTotalSymmetric && stream_complete) {
+            g.symmetric.on_data(msg);
+        }
+        apply_stability_report(g, msg.sender, msg.received_counts);
+        if (!stream_complete && stream.out_of_order.empty()) {
+            schedule_nack(g, msg.sender);
+        }
+        if (g.state == Group::State::kNormal) pump(g);
+        kick_liveness(g);
+        return;
+    }
+
+    // Reliable stream path (application data and order records).
+    if (msg.seq < stream.next_expected || stream.out_of_order.contains(msg.seq)) {
+        return;  // duplicate (retransmission we no longer need)
+    }
+    if (msg.seq != stream.next_expected) {
+        stream.out_of_order.emplace(msg.seq, std::move(msg));
+        schedule_nack(g, stream.out_of_order.begin()->second.sender);
+        kick_liveness(g);
+        return;
+    }
+
+    const EndpointId sender = msg.sender;
+    ingest_in_order(g, std::move(msg));
+    ++stream.next_expected;
+    // Drain any buffered continuation.
+    auto it = stream.out_of_order.begin();
+    while (it != stream.out_of_order.end() && it->first == stream.next_expected) {
+        ingest_in_order(g, std::move(it->second));
+        it = stream.out_of_order.erase(it);
+        ++stream.next_expected;
+    }
+    if (stream.out_of_order.empty() && stream.nack_timer != 0) {
+        orb_->scheduler().cancel(stream.nack_timer);
+        stream.nack_timer = 0;
+    } else if (!stream.out_of_order.empty()) {
+        schedule_nack(g, sender);
+    }
+
+    if (g.state == Group::State::kNormal) pump(g);
+    kick_liveness(g);
+}
+
+void GroupCommEndpoint::ingest_in_order(Group& g, DataMsg msg) {
+    g.unstable.emplace(MsgRef{msg.sender, msg.seq}, msg);
+    switch (g.config.order) {
+        case OrderMode::kTotalSymmetric:
+            g.symmetric.on_data(msg);
+            break;
+        case OrderMode::kTotalAsymmetric:
+            if (msg.kind == DataKind::kOrder) {
+                try {
+                    g.sequencer.on_order(decode_order_payload(msg));
+                } catch (const DecodeError& err) {
+                    NEWTOP_WARN("endpoint " << id_ << ": bad order payload: " << err.what());
+                }
+            } else {
+                g.sequencer.on_data(msg);
+            }
+            break;
+        case OrderMode::kCausal:
+            g.causal.on_data(msg);
+            break;
+    }
+}
+
+void GroupCommEndpoint::pump(Group& g) {
+    if (g.state != Group::State::kNormal) return;
+    std::vector<DataMsg> ordered;
+    switch (g.config.order) {
+        case OrderMode::kTotalSymmetric:
+            ordered = g.symmetric.take_deliverable();
+            break;
+        case OrderMode::kTotalAsymmetric: {
+            // If we are the sequencer, publish fresh assignments first so the
+            // order record precedes nothing it references on our stream.
+            if (auto order = g.sequencer.take_order_to_send()) {
+                send_data(g, DataKind::kOrder, encode_order_payload(*order));
+            }
+            ordered = g.sequencer.take_deliverable();
+            break;
+        }
+        case OrderMode::kCausal:
+            ordered = g.causal.take_deliverable();
+            break;
+    }
+    for (auto& msg : ordered) g.release_queue.push_back(std::move(msg));
+    try_release_all();
+}
+
+void GroupCommEndpoint::try_release(Group& g) {
+    while (!g.release_queue.empty() && barrier_satisfied(g.release_queue.front())) {
+        DataMsg msg = std::move(g.release_queue.front());
+        g.release_queue.pop_front();
+        deliver_to_app(g, std::move(msg));
+    }
+}
+
+void GroupCommEndpoint::try_release_all() {
+    // Delivering in one group can unblock barriers in another; iterate to a
+    // fixpoint.  The barrier graph follows causality, so this terminates.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto& [id, g] : groups_) {
+            const std::uint64_t before = g.delivered_count;
+            try_release(g);
+            progressed |= g.delivered_count != before;
+        }
+    }
+}
+
+bool GroupCommEndpoint::barrier_satisfied(const DataMsg& msg) const {
+    for (const KnowledgeEntry& entry : msg.knowledge) {
+        if (entry.group == msg.group) continue;  // in-group order handles it
+        if (entry.sender == id_) continue;       // our own sends
+        const Group* g = find_group(entry.group);
+        if (g == nullptr || !g->installed || !g->view.contains(id_)) continue;
+        if (entry.epoch < g->view.epoch) continue;  // flushed by a view change
+        if (entry.epoch > g->view.epoch) return false;  // our install is behind
+        if (!g->view.contains(entry.sender)) continue;  // departed member
+        const auto it = g->inbound.find(entry.sender);
+        const Seqno delivered = it == g->inbound.end() ? 0 : it->second.delivered_app_count;
+        if (delivered < entry.count) return false;
+    }
+    return true;
+}
+
+void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
+    NEWTOP_ENSURES(msg.kind == DataKind::kApplication, "only application data is delivered");
+    g.delivered_refs.insert(MsgRef{msg.sender, msg.seq});
+    ++g.delivered_count;
+    if (msg.sender != id_) {
+        auto& stream = g.inbound[msg.sender];
+        stream.delivered_app_count = std::max(stream.delivered_app_count, msg.seq + 1);
+    }
+    note_knowledge(g.id, msg.epoch, msg.sender, msg.seq + 1);
+    merge_knowledge(msg.knowledge);
+
+    if (!deliver_handler_) return;
+    // Hand the message to the application object over the colocated ORB
+    // boundary (message m3 of fig. 9): costs CPU but no wire traffic.
+    Delivery delivery{g.id, msg.sender, msg.ts, std::move(msg.payload)};
+    orb_->network().node(orb_->node_id()).cpu().execute(
+        calibration::kLocalHandoffCost,
+        [handler = deliver_handler_, delivery = std::move(delivery)] { handler(delivery); });
+}
+
+// -- causal knowledge ------------------------------------------------------------
+
+void GroupCommEndpoint::note_knowledge(GroupId group, ViewEpoch epoch, EndpointId sender,
+                                       Seqno count) {
+    auto& slot = knowledge_[{group, sender}];
+    if (epoch > slot.first) {
+        slot = {epoch, count};
+    } else if (epoch == slot.first) {
+        slot.second = std::max(slot.second, count);
+    }
+}
+
+void GroupCommEndpoint::merge_knowledge(const std::vector<KnowledgeEntry>& entries) {
+    for (const KnowledgeEntry& entry : entries) {
+        note_knowledge(entry.group, entry.epoch, entry.sender, entry.count);
+    }
+}
+
+std::vector<KnowledgeEntry> GroupCommEndpoint::knowledge_snapshot(GroupId excluding) const {
+    std::vector<KnowledgeEntry> out;
+    for (const auto& [key, value] : knowledge_) {
+        if (key.first == excluding) continue;
+        out.push_back(KnowledgeEntry{key.first, value.first, key.second, value.second});
+    }
+    return out;
+}
+
+// -- NACK-based retransmission ------------------------------------------------------
+
+void GroupCommEndpoint::schedule_nack(Group& g, EndpointId sender) {
+    auto& stream = g.inbound[sender];
+    if (stream.nack_timer != 0) return;
+    const GroupId group_id = g.id;
+    stream.nack_timer = orb_->scheduler().schedule_after(
+        kNackDelay, [this, group_id, sender] { send_nack(group_id, sender); });
+}
+
+void GroupCommEndpoint::send_nack(GroupId group_id, EndpointId sender) {
+    if (process_crashed()) return;
+    Group* g = find_group(group_id);
+    if (g == nullptr || g->state != Group::State::kNormal) return;
+    auto& stream = g->inbound[sender];
+    stream.nack_timer = 0;
+
+    NackMsg nack{g->id, g->view.epoch, id_, {}};
+    const Seqno gap_end = stream.out_of_order.empty()
+                              ? stream.next_expected + 1
+                              : stream.out_of_order.begin()->first;
+    for (Seqno s = stream.next_expected; s < gap_end; ++s) nack.missing.push_back(s);
+    if (nack.missing.empty()) return;
+    send_wire(sender, nack);
+
+    // Retry until the gap closes (or a view change supersedes everything).
+    stream.nack_timer = orb_->scheduler().schedule_after(
+        kNackRetry, [this, group_id, sender] { send_nack(group_id, sender); });
+}
+
+void GroupCommEndpoint::handle_nack(const NackMsg& msg) {
+    Group* g = find_group(msg.group);
+    if (g == nullptr || msg.epoch != g->view.epoch) return;
+    for (const Seqno seq : msg.missing) {
+        const auto it = g->unstable.find(MsgRef{id_, seq});
+        if (it != g->unstable.end()) send_wire(msg.requester, it->second);
+        // Absent => the message went stable, meaning the requester had
+        // already received it; the NACK raced a delivery.
+    }
+}
+
+}  // namespace newtop

@@ -1,0 +1,280 @@
+// GroupCommEndpoint: one process's group-communication runtime — the lower
+// half of a NewTop service object (NSO).
+//
+// One endpoint per NSO, regardless of how many groups the NSO's client
+// participates in (§3).  The endpoint provides:
+//
+//  * group create / join / leave with a consistent membership (view)
+//    service driven by a failure suspector,
+//  * atomic multicast with causal + total order delivery (symmetric or
+//    asymmetric per group), virtual synchrony across view changes,
+//  * overlapping groups: one Lamport clock and one causal-knowledge store
+//    span all of the endpoint's groups, so causally-related messages in
+//    different groups are delivered in causal order (the fig. 7 property),
+//  * the time-silence mechanism in lively and event-driven flavours.
+//
+// All protocol traffic travels as oneway ORB invocations between endpoint
+// servants, mirroring the paper's architecture.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gcs/directory.hpp"
+#include "gcs/messages.hpp"
+#include "gcs/ordering.hpp"
+#include "gcs/types.hpp"
+#include "gcs/view.hpp"
+#include "orb/orb.hpp"
+
+namespace newtop {
+
+/// ORB method id of the GCS servant's single "deliver" operation.
+inline constexpr std::uint32_t kGcsDeliverMethod = 100;
+
+class GroupCommEndpoint {
+public:
+    /// An application message delivered in agreed order.
+    struct Delivery {
+        GroupId group;
+        EndpointId sender;
+        Lamport ts{0};
+        Bytes payload;
+    };
+    using DeliverHandler = std::function<void(const Delivery&)>;
+
+    /// A new view was installed at this member.
+    struct ViewChangeEvent {
+        View view;
+        std::vector<EndpointId> joined;
+        std::vector<EndpointId> departed;
+    };
+    using ViewHandler = std::function<void(const ViewChangeEvent&)>;
+
+    /// This member is no longer part of the group (it left, was ejected,
+    /// or the group disbanded around it).
+    using RemovedHandler = std::function<void(GroupId)>;
+
+    GroupCommEndpoint(Orb& orb, Directory& directory);
+
+    GroupCommEndpoint(const GroupCommEndpoint&) = delete;
+    GroupCommEndpoint& operator=(const GroupCommEndpoint&) = delete;
+
+    [[nodiscard]] EndpointId id() const { return id_; }
+    [[nodiscard]] const Ior& service_ior() const { return service_ior_; }
+    Orb& orb() { return *orb_; }
+
+    // -- Group management ----------------------------------------------------
+
+    /// Create a group with this endpoint as sole member.  The first view
+    /// installs immediately.
+    GroupId create_group(const std::string& name, const GroupConfig& config);
+
+    /// Join an existing group (asynchronous: membership is effective when
+    /// the view including this endpoint is installed — watch the view
+    /// handler).  Returns the group id.
+    GroupId join_group(const std::string& name);
+
+    /// Leave a group (asynchronous; the removed handler fires once the
+    /// view excluding this endpoint installs).
+    void leave_group(GroupId group);
+
+    /// Atomic multicast to the group with the group's configured ordering.
+    /// During a view change the message is queued and sent in the next view.
+    void multicast(GroupId group, Bytes payload);
+
+    [[nodiscard]] bool knows_group(GroupId group) const { return groups_.contains(group); }
+    [[nodiscard]] bool is_member(GroupId group) const;
+
+    /// The current installed view ("groupdetails"), or nullptr before the
+    /// first install / after removal.
+    [[nodiscard]] const View* current_view(GroupId group) const;
+    [[nodiscard]] const GroupConfig* group_config(GroupId group) const;
+
+    void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
+    void set_view_handler(ViewHandler h) { view_handler_ = std::move(h); }
+    void set_removed_handler(RemovedHandler h) { removed_handler_ = std::move(h); }
+
+    // -- Diagnostics (tests, benches) -----------------------------------------
+
+    struct GroupStats {
+        ViewEpoch epoch{0};
+        bool in_view_change{false};
+        std::size_t holdback{0};
+        std::size_t unstable{0};
+        std::uint64_t nulls_sent{0};
+        std::uint64_t delivered{0};
+    };
+    [[nodiscard]] GroupStats group_stats(GroupId group) const;
+
+private:
+    struct InboundStream {
+        Seqno next_expected{0};
+        std::map<Seqno, DataMsg> out_of_order;
+        SimTime last_heard{0};
+        /// Count form of "delivered app prefix": last delivered application
+        /// message's seq + 1 (for cross-group knowledge barriers).
+        Seqno delivered_app_count{0};
+        TimerId nack_timer{0};
+    };
+
+    struct Group {
+        GroupId id;
+        std::string name;
+        GroupConfig config;
+
+        View view;  // installed view; empty members + epoch 0 => skeleton
+        bool installed{false};
+        SimTime view_installed_at{0};
+        enum class State : std::uint8_t { kNormal, kViewChange } state{State::kNormal};
+
+        // send side
+        Seqno next_send_seq{0};
+        SimTime last_send_time{0};
+        bool ever_sent{false};
+        /// Self-clocking for progress nulls: we only null when we have new
+        /// information (something arrived since our last send), so two
+        /// members waiting on a dead peer ping-pong at network pace instead
+        /// of flooding their CPUs.
+        bool received_since_send{false};
+        /// Timestamp of our latest send in this group.  A progress null is
+        /// useful only while this lags the ordering head — once we have
+        /// spoken past the head, further nulls cannot unblock anyone.
+        Lamport last_sent_ts{0};
+        std::vector<Bytes> blocked_sends;
+
+        // receive side
+        std::map<EndpointId, InboundStream> inbound;
+        std::set<MsgRef> delivered_refs;   // app messages delivered this epoch
+        std::deque<DataMsg> release_queue;  // ordered, awaiting cross-group barrier
+        std::map<MsgRef, DataMsg> unstable;  // own + received, this epoch
+
+        // ordering engines (one active, per config.order)
+        SymmetricOrder symmetric;
+        SequencerOrder sequencer;
+        CausalOrder causal;
+
+        // stability
+        std::map<EndpointId, std::map<EndpointId, Seqno>> stability_reports;
+
+        // liveness timers
+        TimerId silence_timer{0};
+        TimerId progress_timer{0};
+        TimerId suspicion_timer{0};
+        TimerId stability_timer{0};
+        /// Event-driven groups shut the mechanisms down while idle; when
+        /// they wake up, suspicion must not look at silence accumulated
+        /// while they were off.
+        bool liveness_active{false};
+        SimTime active_since{0};
+
+        // membership
+        std::set<EndpointId> suspects;
+        std::set<EndpointId> pending_joiners;
+        std::set<EndpointId> pending_leavers;
+
+        // view-change round
+        ViewEpoch vc_epoch{0};
+        EndpointId vc_coordinator;
+        bool leading{false};
+        std::vector<EndpointId> vc_members;      // proposed membership
+        std::set<EndpointId> vc_expected_flush;  // old members we await
+        std::set<EndpointId> vc_flushed;
+        std::map<MsgRef, DataMsg> vc_cut;
+        std::map<std::uint64_t, MsgRef> vc_orders;
+        TimerId vc_timer{0};
+
+        // counters
+        std::uint64_t nulls_sent{0};
+        std::uint64_t delivered_count{0};
+    };
+
+    class GcsServant;
+
+    // -- wiring (endpoint.cpp) -------------------------------------------------
+    /// Crash-stop: a dead process executes nothing.  Timer callbacks and
+    /// message handlers bail out through this so a crashed node can never
+    /// mutate shared state (e.g. the directory) again.
+    [[nodiscard]] bool process_crashed() const;
+    void on_wire(const Bytes& payload);
+    void send_wire(EndpointId to, const GcsMessage& msg);
+    void multicast_wire(const Group& g, const GcsMessage& msg);
+    Group* find_group(GroupId id);
+    const Group* find_group(GroupId id) const;
+    Group& ensure_skeleton(GroupId id);
+
+    // -- data path (endpoint.cpp) -----------------------------------------------
+    void send_data(Group& g, DataKind kind, Bytes payload);
+    void handle_data(DataMsg msg);
+    void handle_nack(const NackMsg& msg);
+    void ingest_in_order(Group& g, DataMsg msg);
+    void pump(Group& g);
+    void release_ordered(Group& g, std::vector<DataMsg> ordered);
+    void try_release(Group& g);
+    void try_release_all();
+    [[nodiscard]] bool barrier_satisfied(const DataMsg& msg) const;
+    void deliver_to_app(Group& g, DataMsg msg);
+    void note_knowledge(GroupId group, ViewEpoch epoch, EndpointId sender, Seqno count);
+    void merge_knowledge(const std::vector<KnowledgeEntry>& entries);
+    [[nodiscard]] std::vector<KnowledgeEntry> knowledge_snapshot(GroupId excluding) const;
+    void schedule_nack(Group& g, EndpointId sender);
+    void send_nack(GroupId group_id, EndpointId sender);
+
+    // -- liveness (endpoint_liveness.cpp) ----------------------------------------
+    [[nodiscard]] bool mechanisms_active(const Group& g) const;
+    void kick_liveness(Group& g);
+    void stop_liveness(Group& g);
+    void send_null(Group& g);
+    void on_silence_timer(GroupId id);
+    void on_progress_timer(GroupId id);
+    void on_suspicion_scan(GroupId id);
+    void on_stability_tick(GroupId id);
+    void apply_stability_report(Group& g, EndpointId reporter,
+                                const std::vector<std::pair<EndpointId, Seqno>>& counts);
+    void recompute_stability(Group& g);
+    [[nodiscard]] std::vector<std::pair<EndpointId, Seqno>> received_counts(const Group& g) const;
+
+    // -- membership (endpoint_membership.cpp) -------------------------------------
+    void install_first_view(Group& g);
+    void handle_join(const JoinReq& msg);
+    void handle_leave(const LeaveReq& msg);
+    void handle_suspect(const SuspectMsg& msg);
+    void handle_propose(const ProposeMsg& msg);
+    void handle_flush(const FlushMsg& msg);
+    void handle_install(const InstallMsg& msg);
+    void note_suspect(Group& g, EndpointId suspect, bool broadcast);
+    void maybe_start_view_change(Group& g);
+    void begin_round(Group& g);
+    void enter_view_change(Group& g, ViewEpoch new_epoch, EndpointId coordinator);
+    void add_flush(Group& g, EndpointId sender, std::vector<DataMsg> unstable,
+                   const std::vector<std::pair<std::uint64_t, MsgRef>>& orders);
+    void finish_if_flushes_complete(Group& g);
+    void deliver_cut(Group& g, const InstallMsg& msg);
+    void install_view(Group& g, const InstallMsg& msg);
+    void resubmit_undelivered(Group& g, const std::set<MsgRef>& delivered_in_cut);
+    void on_vc_timeout(GroupId id);
+    void on_join_retry(const std::string& name);
+
+    Orb* orb_;
+    Directory* directory_;
+    EndpointId id_;
+    Ior service_ior_;
+    Lamport clock_{0};
+
+    std::map<GroupId, Group> groups_;
+    /// Cross-group causal knowledge: (group, sender) -> (epoch, count).
+    std::map<std::pair<GroupId, EndpointId>, std::pair<ViewEpoch, Seqno>> knowledge_;
+    /// Joins awaiting completion: group name -> retry timer.
+    std::map<std::string, TimerId> pending_joins_;
+
+    DeliverHandler deliver_handler_;
+    ViewHandler view_handler_;
+    RemovedHandler removed_handler_;
+};
+
+}  // namespace newtop

@@ -1,0 +1,494 @@
+// Membership agreement: coordinator-driven view changes with a flush phase
+// providing virtual synchrony — every member that installs view v+1 has
+// delivered the same set of messages in view v, in the same total order.
+//
+// Round structure (per group):
+//   trigger (suspicion / join / leave)
+//     -> coordinator PROPOSEs (new_epoch, membership)
+//     -> old members reply FLUSH (their unstable messages + order records)
+//     -> coordinator INSTALLs (view + the union cut)
+//     -> members deliver the cut deterministically, reset, resume.
+// A stalled round times out; the next-ranked unsuspected member takes over
+// with a higher epoch.  Concurrent rounds are resolved by (epoch,
+// coordinator) precedence.  Partitions yield disjoint successor views on
+// each side (the partitionable model of NewTop).
+#include "gcs/endpoint.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace newtop {
+
+namespace {
+
+/// Deterministic delivery order for a view-change cut: sequencer-assigned
+/// messages first (in assignment order), the rest by (ts, sender).  All
+/// members compute the same cut, so all deliver in the same order.
+std::vector<DataMsg> sort_cut(std::map<MsgRef, DataMsg> pending,
+                              const std::vector<std::pair<std::uint64_t, MsgRef>>& orders) {
+    std::vector<DataMsg> out;
+    std::map<std::uint64_t, MsgRef> assigned(orders.begin(), orders.end());
+    for (const auto& [order, ref] : assigned) {
+        const auto it = pending.find(ref);
+        if (it == pending.end()) continue;
+        out.push_back(std::move(it->second));
+        pending.erase(it);
+    }
+    std::vector<DataMsg> rest;
+    rest.reserve(pending.size());
+    for (auto& [ref, msg] : pending) rest.push_back(std::move(msg));
+    std::sort(rest.begin(), rest.end(), [](const DataMsg& a, const DataMsg& b) {
+        return std::tie(a.ts, a.sender) < std::tie(b.ts, b.sender);
+    });
+    out.insert(out.end(), std::make_move_iterator(rest.begin()),
+               std::make_move_iterator(rest.end()));
+    return out;
+}
+
+}  // namespace
+
+GroupCommEndpoint::Group& GroupCommEndpoint::ensure_skeleton(GroupId id) {
+    if (Group* g = find_group(id)) return *g;
+    const Directory::GroupInfo* info = directory_->find_group(id);
+    NEWTOP_ENSURES(info != nullptr, "group message for a group the directory never saw");
+    Group& g = groups_[id];
+    g.id = id;
+    g.name = info->name;
+    g.config = info->config;
+    return g;
+}
+
+void GroupCommEndpoint::install_first_view(Group& g) {
+    InstallMsg self_install;
+    self_install.group = g.id;
+    self_install.view = View{g.id, 1, {id_}};
+    self_install.coordinator = id_;
+    handle_install(self_install);
+}
+
+// -- join / leave ----------------------------------------------------------------
+
+void GroupCommEndpoint::on_join_retry(const std::string& name) {
+    if (process_crashed()) return;
+    const auto pending = pending_joins_.find(name);
+    if (pending == pending_joins_.end()) return;
+    const Directory::GroupInfo* info = directory_->find_group(name);
+    if (info == nullptr) {
+        pending_joins_.erase(pending);
+        return;
+    }
+    if (is_member(info->id)) {
+        pending_joins_.erase(pending);
+        return;
+    }
+    const JoinReq req{info->id, id_};
+    for (const EndpointId contact : info->contact_hint) {
+        if (contact != id_) send_wire(contact, req);
+    }
+    pending->second = orb_->scheduler().schedule_after(
+        2 * info->config.view_change_timeout, [this, name] { on_join_retry(name); });
+}
+
+void GroupCommEndpoint::handle_join(const JoinReq& msg) {
+    Group* g = find_group(msg.group);
+    if (g == nullptr || !g->installed || !g->view.contains(id_)) return;
+    if (g->view.contains(msg.joiner)) {
+        // The joiner is already in — it must have missed the install; any
+        // member may re-send it (no cut: the joiner delivers nothing old).
+        send_wire(msg.joiner, InstallMsg{g->id, g->view, id_, {}, {}});
+        return;
+    }
+    if (g->pending_joiners.insert(msg.joiner).second) {
+        // First time we hear of this joiner: gossip so the coordinator
+        // learns even if the joiner's directory hint was stale.
+        multicast_wire(*g, msg);
+    }
+    maybe_start_view_change(*g);
+}
+
+void GroupCommEndpoint::handle_leave(const LeaveReq& msg) {
+    Group* g = find_group(msg.group);
+    if (g == nullptr || !g->installed) return;
+    if (!g->view.contains(msg.leaver)) return;
+    g->pending_leavers.insert(msg.leaver);
+    maybe_start_view_change(*g);
+}
+
+// -- suspicion -------------------------------------------------------------------
+
+void GroupCommEndpoint::note_suspect(Group& g, EndpointId suspect, bool broadcast) {
+    if (suspect == id_ || !g.view.contains(suspect)) return;
+    if (!g.suspects.insert(suspect).second) return;
+    NEWTOP_DEBUG("endpoint " << id_ << " suspects " << suspect << " in group " << g.id);
+    if (broadcast) {
+        multicast_wire(g, SuspectMsg{g.id, g.view.epoch, id_, {suspect}});
+    }
+}
+
+void GroupCommEndpoint::handle_suspect(const SuspectMsg& msg) {
+    Group* g = find_group(msg.group);
+    if (g == nullptr || !g->installed || msg.epoch != g->view.epoch) return;
+    for (const EndpointId suspect : msg.suspects) note_suspect(*g, suspect, false);
+    maybe_start_view_change(*g);
+}
+
+// -- round orchestration ------------------------------------------------------------
+
+void GroupCommEndpoint::maybe_start_view_change(Group& g) {
+    if (!g.installed || !g.view.contains(id_)) return;
+    const bool need = !g.suspects.empty() || !g.pending_joiners.empty() ||
+                      !g.pending_leavers.empty();
+    if (!need) return;
+
+    // Deterministic coordinator: lowest-ranked member we do not suspect.
+    EndpointId coordinator;
+    bool found = false;
+    for (const EndpointId member : g.view.members) {
+        if (!g.suspects.contains(member)) {
+            coordinator = member;
+            found = true;
+            break;
+        }
+    }
+    NEWTOP_ENSURES(found, "self is never suspected, so a coordinator exists");
+    if (coordinator != id_) return;  // the trigger was gossiped to everyone
+
+    if (g.state == Group::State::kViewChange) {
+        if (!g.leading) return;  // a higher round owns the group right now
+        // Restart only if the running round can no longer finish (a member
+        // we are waiting on got suspected) — otherwise let it complete and
+        // handle the new trigger in a follow-up round.
+        const bool stalled = std::any_of(
+            g.vc_expected_flush.begin(), g.vc_expected_flush.end(),
+            [&](EndpointId m) { return g.suspects.contains(m) && !g.vc_flushed.contains(m); });
+        if (!stalled) return;
+    }
+    begin_round(g);
+}
+
+void GroupCommEndpoint::begin_round(Group& g) {
+    g.state = Group::State::kViewChange;
+    g.leading = true;
+    g.vc_epoch = std::max(g.view.epoch, g.vc_epoch) + 1;
+    g.vc_coordinator = id_;
+    g.vc_flushed.clear();
+    g.vc_cut.clear();
+    g.vc_orders.clear();
+
+    // Proposed membership: survivors minus leavers plus joiners.
+    g.vc_members.clear();
+    for (const EndpointId member : g.view.members) {
+        if (!g.suspects.contains(member) && !g.pending_leavers.contains(member)) {
+            g.vc_members.push_back(member);
+        }
+    }
+    for (const EndpointId joiner : g.pending_joiners) {
+        if (!g.suspects.contains(joiner)) g.vc_members.push_back(joiner);
+    }
+    std::sort(g.vc_members.begin(), g.vc_members.end());
+    g.vc_members.erase(std::unique(g.vc_members.begin(), g.vc_members.end()),
+                       g.vc_members.end());
+
+    // Everyone that was in the old view and isn't suspected must flush —
+    // including leavers (their messages are part of the cut).
+    g.vc_expected_flush.clear();
+    for (const EndpointId member : g.view.members) {
+        if (!g.suspects.contains(member)) g.vc_expected_flush.insert(member);
+    }
+
+    ProposeMsg propose{g.id, g.view.epoch, g.vc_epoch, id_, g.vc_members};
+    for (const EndpointId member : g.vc_expected_flush) {
+        if (member != id_) send_wire(member, propose);
+    }
+    for (const EndpointId joiner : g.vc_members) {
+        if (joiner != id_ && !g.vc_expected_flush.contains(joiner)) {
+            send_wire(joiner, propose);
+        }
+    }
+
+    // Our own flush, locally.
+    std::vector<DataMsg> own;
+    own.reserve(g.unstable.size());
+    for (const auto& [ref, msg] : g.unstable) own.push_back(msg);
+    std::vector<std::pair<std::uint64_t, MsgRef>> own_orders;
+    if (g.config.order == OrderMode::kTotalAsymmetric) {
+        const auto& log = g.sequencer.assignment_log();
+        own_orders.assign(log.begin(), log.end());
+    }
+    add_flush(g, id_, std::move(own), own_orders);
+
+    orb_->scheduler().cancel(g.vc_timer);
+    const GroupId id = g.id;
+    g.vc_timer = orb_->scheduler().schedule_after(g.config.view_change_timeout,
+                                                  [this, id] { on_vc_timeout(id); });
+    finish_if_flushes_complete(g);
+}
+
+void GroupCommEndpoint::enter_view_change(Group& g, ViewEpoch new_epoch,
+                                          EndpointId coordinator) {
+    g.state = Group::State::kViewChange;
+    g.leading = false;
+    g.vc_epoch = new_epoch;
+    g.vc_coordinator = coordinator;
+    orb_->scheduler().cancel(g.vc_timer);
+    const GroupId id = g.id;
+    // Followers wait noticeably longer than the coordinator's own retry
+    // period: a round stalled on a *third* member makes the coordinator
+    // re-propose (resetting this timer) — suspecting the healthy
+    // coordinator at the same instant would splinter the group.
+    g.vc_timer = orb_->scheduler().schedule_after(5 * g.config.view_change_timeout / 2,
+                                                  [this, id] { on_vc_timeout(id); });
+}
+
+void GroupCommEndpoint::handle_propose(const ProposeMsg& msg) {
+    Group& g = ensure_skeleton(msg.group);
+    if (g.installed && msg.new_epoch <= g.view.epoch) return;  // stale round
+    if (g.state == Group::State::kViewChange) {
+        const auto current = std::pair{g.vc_epoch, g.vc_coordinator};
+        const auto offered = std::pair{msg.new_epoch, msg.coordinator};
+        if (offered <= current) return;  // our round has precedence
+    }
+    enter_view_change(g, msg.new_epoch, msg.coordinator);
+
+    if (g.installed && g.view.contains(id_)) {
+        FlushMsg flush;
+        flush.group = g.id;
+        flush.new_epoch = msg.new_epoch;
+        flush.coordinator = msg.coordinator;
+        flush.sender = id_;
+        flush.unstable.reserve(g.unstable.size());
+        for (const auto& [ref, data] : g.unstable) flush.unstable.push_back(data);
+        if (g.config.order == OrderMode::kTotalAsymmetric) {
+            const auto& log = g.sequencer.assignment_log();
+            flush.orders.assign(log.begin(), log.end());
+        }
+        send_wire(msg.coordinator, flush);
+    }
+}
+
+void GroupCommEndpoint::handle_flush(const FlushMsg& msg) {
+    Group* g = find_group(msg.group);
+    if (g == nullptr || g->state != Group::State::kViewChange) return;
+    if (!g->leading || msg.new_epoch != g->vc_epoch || msg.coordinator != id_) return;
+    add_flush(*g, msg.sender, msg.unstable, msg.orders);
+    finish_if_flushes_complete(*g);
+}
+
+void GroupCommEndpoint::add_flush(Group& g, EndpointId sender, std::vector<DataMsg> unstable,
+                                  const std::vector<std::pair<std::uint64_t, MsgRef>>& orders) {
+    g.vc_flushed.insert(sender);
+    for (auto& data : unstable) {
+        const MsgRef ref{data.sender, data.seq};
+        g.vc_cut.try_emplace(ref, std::move(data));
+    }
+    for (const auto& [order, ref] : orders) g.vc_orders.emplace(order, ref);
+}
+
+void GroupCommEndpoint::finish_if_flushes_complete(Group& g) {
+    if (!g.leading) return;
+    for (const EndpointId member : g.vc_expected_flush) {
+        if (!g.vc_flushed.contains(member)) return;
+    }
+
+    InstallMsg install;
+    install.group = g.id;
+    install.view = View{g.id, g.vc_epoch, g.vc_members};
+    install.coordinator = id_;
+    install.cut.reserve(g.vc_cut.size());
+    for (const auto& [ref, data] : g.vc_cut) install.cut.push_back(data);
+    install.orders.assign(g.vc_orders.begin(), g.vc_orders.end());
+
+    std::set<EndpointId> recipients(g.vc_expected_flush.begin(), g.vc_expected_flush.end());
+    recipients.insert(g.vc_members.begin(), g.vc_members.end());
+    for (const EndpointId member : recipients) {
+        if (member != id_) send_wire(member, install);
+    }
+    handle_install(install);
+}
+
+// -- install ------------------------------------------------------------------------
+
+void GroupCommEndpoint::deliver_cut(Group& g, const InstallMsg& msg) {
+    // Everything still held locally plus everything in the cut, minus what
+    // we already delivered, in the agreed order.
+    std::map<MsgRef, DataMsg> pending;
+    auto absorb = [&](std::vector<DataMsg> batch) {
+        for (auto& data : batch) {
+            if (data.kind != DataKind::kApplication) continue;
+            if (data.epoch != g.view.epoch) continue;
+            const MsgRef ref{data.sender, data.seq};
+            if (g.delivered_refs.contains(ref)) continue;
+            pending.try_emplace(ref, std::move(data));
+        }
+    };
+    switch (g.config.order) {
+        case OrderMode::kTotalSymmetric: absorb(g.symmetric.drain_pending()); break;
+        case OrderMode::kTotalAsymmetric: absorb(g.sequencer.drain_pending()); break;
+        case OrderMode::kCausal: absorb(g.causal.drain_pending()); break;
+    }
+    absorb({std::make_move_iterator(g.release_queue.begin()),
+            std::make_move_iterator(g.release_queue.end())});
+    g.release_queue.clear();
+    absorb(msg.cut);
+
+    // Cut delivery ignores cross-group barriers: blocking the flush on
+    // another group's progress could deadlock two concurrent view changes.
+    // Causality across groups is re-established from the new view onwards.
+    for (DataMsg& data : sort_cut(std::move(pending), msg.orders)) {
+        deliver_to_app(g, std::move(data));
+    }
+}
+
+void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
+    const GroupId group_id = g.id;
+    const std::vector<EndpointId> old_members = g.installed ? g.view.members
+                                                            : std::vector<EndpointId>{};
+    const bool was_member = g.installed && g.view.contains(id_);
+
+    stop_liveness(g);
+    orb_->scheduler().cancel(g.vc_timer);
+    g.vc_timer = 0;
+    for (auto& [member, stream] : g.inbound) {
+        orb_->scheduler().cancel(stream.nack_timer);
+        stream.nack_timer = 0;
+    }
+
+    if (!msg.view.contains(id_)) {
+        // We left, were ejected, or this is a stray install: drop the group.
+        groups_.erase(group_id);
+        if (was_member && removed_handler_) removed_handler_(group_id);
+        return;
+    }
+
+    g.view = msg.view;
+    g.installed = true;
+    g.view_installed_at = orb_->scheduler().now();
+    g.state = Group::State::kNormal;
+    g.leading = false;
+    g.next_send_seq = 0;
+    g.ever_sent = false;
+    g.inbound.clear();
+    g.delivered_refs.clear();
+    g.release_queue.clear();
+    g.unstable.clear();
+    g.stability_reports.clear();
+    g.vc_flushed.clear();
+    g.vc_cut.clear();
+    g.vc_orders.clear();
+    g.vc_members.clear();
+    g.vc_expected_flush.clear();
+    g.symmetric.reset(g.view.members);
+    g.sequencer.reset(g.view.members, id_);
+    g.causal.reset(g.view.members);
+
+    // Suspicions and requests that the new view resolved are cleared.
+    std::erase_if(g.suspects, [&](EndpointId m) { return !g.view.contains(m); });
+    std::erase_if(g.pending_joiners, [&](EndpointId m) { return g.view.contains(m); });
+    std::erase_if(g.pending_leavers, [&](EndpointId m) { return !g.view.contains(m); });
+
+    directory_->update_contact_hint(group_id, g.view.members);
+
+    // A join we were waiting on may have just completed.
+    const auto join_it = pending_joins_.find(g.name);
+    if (join_it != pending_joins_.end()) {
+        orb_->scheduler().cancel(join_it->second);
+        pending_joins_.erase(join_it);
+    }
+
+    if (view_handler_) {
+        ViewChangeEvent event;
+        event.view = g.view;
+        for (const EndpointId m : g.view.members) {
+            if (std::find(old_members.begin(), old_members.end(), m) == old_members.end()) {
+                event.joined.push_back(m);
+            }
+        }
+        for (const EndpointId m : old_members) {
+            if (!g.view.contains(m)) event.departed.push_back(m);
+        }
+        view_handler_(event);
+    }
+}
+
+void GroupCommEndpoint::resubmit_undelivered(Group& g, const std::set<MsgRef>& delivered) {
+    // Our messages that made it into nobody's delivery (they were not in
+    // the cut) would otherwise vanish; atomicity lets us resubmit them in
+    // the new view (the paper's client-retry discussion, §4.1).
+    std::vector<Bytes> payloads;
+    for (const auto& [ref, data] : g.unstable) {
+        if (data.sender != id_ || data.kind != DataKind::kApplication) continue;
+        if (!delivered.contains(ref)) payloads.push_back(data.payload);
+    }
+    for (Bytes& payload : payloads) g.blocked_sends.push_back(std::move(payload));
+}
+
+void GroupCommEndpoint::handle_install(const InstallMsg& msg) {
+    Group& g = ensure_skeleton(msg.group);
+    if (g.installed && msg.view.epoch <= g.view.epoch) return;  // duplicate/stale
+
+    if (g.installed && g.view.contains(id_)) {
+        deliver_cut(g, msg);
+        resubmit_undelivered(g, g.delivered_refs);
+    }
+
+    install_view(g, msg);
+
+    Group* gp = find_group(msg.group);
+    if (gp == nullptr) return;  // we were removed
+
+    // Send what queued up during the change (and any resubmissions).
+    std::vector<Bytes> sends = std::move(gp->blocked_sends);
+    gp->blocked_sends.clear();
+    for (Bytes& payload : sends) send_data(*gp, DataKind::kApplication, std::move(payload));
+
+    maybe_start_view_change(*gp);
+    // A follow-up round may have run to completion synchronously and erased
+    // the group; re-resolve before touching it again.
+    gp = find_group(msg.group);
+    if (gp != nullptr) kick_liveness(*gp);
+    try_release_all();
+}
+
+void GroupCommEndpoint::on_vc_timeout(GroupId id) {
+    if (process_crashed()) return;
+    Group* g = find_group(id);
+    if (g == nullptr || g->state != Group::State::kViewChange) return;
+    g->vc_timer = 0;
+
+    if (g->leading) {
+        // Members that never flushed are presumed gone; go again without them.
+        for (const EndpointId member : g->vc_expected_flush) {
+            if (!g->vc_flushed.contains(member)) note_suspect(*g, member, true);
+        }
+        begin_round(*g);
+        return;
+    }
+
+    // The coordinator went quiet; the next-ranked survivor takes over.
+    note_suspect(*g, g->vc_coordinator, true);
+    if (!g->installed || !g->view.contains(id_)) {
+        // Joiner waiting on a dead coordinator: rely on the join retry.
+        return;
+    }
+    EndpointId next;
+    bool found = false;
+    for (const EndpointId member : g->view.members) {
+        if (!g->suspects.contains(member)) {
+            next = member;
+            found = true;
+            break;
+        }
+    }
+    NEWTOP_ENSURES(found, "self is never suspected");
+    if (next == id_) {
+        begin_round(*g);
+    } else {
+        const GroupId gid = g->id;
+        g->vc_timer = orb_->scheduler().schedule_after(5 * g->config.view_change_timeout / 2,
+                                                       [this, gid] { on_vc_timeout(gid); });
+    }
+}
+
+}  // namespace newtop

@@ -1,0 +1,164 @@
+// Wire messages of the group communication protocol.
+//
+// Every message is serialized and shipped as a oneway ORB invocation to the
+// peer endpoint's GCS servant, reproducing the paper's architecture where
+// NewTop-internal traffic itself travels as CORBA invocations (fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "gcs/view.hpp"
+#include "serial/serial.hpp"
+
+namespace newtop {
+
+/// A (group, sender, seqno) coordinate naming one data message.
+struct MsgRef {
+    EndpointId sender;
+    Seqno seq{0};
+
+    friend auto operator<=>(const MsgRef&, const MsgRef&) = default;
+};
+
+/// One entry of a causal-knowledge vector: "I know (directly or
+/// transitively) that in epoch `epoch` of `group`, `sender` has sent at
+/// least `count` stream messages, the last of which was an application
+/// message".  Receivers that are members of `group` must not deliver a
+/// message carrying this entry before having delivered that prefix — this
+/// is what preserves causality *across* overlapping groups (the fig. 7
+/// guarantee).
+struct KnowledgeEntry {
+    GroupId group;
+    ViewEpoch epoch{0};
+    EndpointId sender;
+    Seqno count{0};
+
+    friend auto operator<=>(const KnowledgeEntry&, const KnowledgeEntry&) = default;
+};
+
+enum class DataKind : std::uint8_t {
+    kApplication = 0,
+    /// Time-silence "I am alive" null; carries the sender's stability
+    /// vector instead of an application payload.  Nulls are ephemeral:
+    /// they consume no stream seqno and are never retransmitted (their
+    /// information is monotone, so losing one is harmless).
+    kNull = 1,
+    /// An asymmetric-order record from the sequencer (an encoded OrderMsg
+    /// as payload).  Rides the sequencer's reliable stream so order records
+    /// inherit FIFO delivery and NACK-based recovery.
+    kOrder = 2,
+};
+
+/// An application multicast or a time-silence null.
+struct DataMsg {
+    GroupId group;
+    ViewEpoch epoch{0};
+    EndpointId sender;
+    Seqno seq{0};
+    Lamport ts{0};
+    DataKind kind{DataKind::kApplication};
+    /// Cross-group causal barriers (only entries for groups other than
+    /// `group`; in-group causality is covered by FIFO channels + ts).
+    std::vector<KnowledgeEntry> knowledge;
+    /// Application payload (kApplication) — empty for nulls.
+    Bytes payload;
+    /// Stability piggyback: per member of the current view, how many of
+    /// that member's stream messages this sender has received contiguously
+    /// from 0.  Carried on nulls; empty on application data.
+    std::vector<std::pair<EndpointId, Seqno>> received_counts;
+    /// Causal dependency vector (kCausal groups only): per member, how many
+    /// of that member's application messages the sender had delivered when
+    /// it sent this one.
+    std::vector<std::pair<EndpointId, Seqno>> causal_vc;
+};
+
+/// Retransmission request: "resend your messages with these seqnos".
+struct NackMsg {
+    GroupId group;
+    ViewEpoch epoch{0};
+    EndpointId requester;
+    std::vector<Seqno> missing;
+};
+
+/// Asymmetric-order record from the sequencer: refs[i] is the message with
+/// global order number `first_order + i`.
+struct OrderMsg {
+    GroupId group;
+    ViewEpoch epoch{0};
+    std::uint64_t first_order{0};
+    std::vector<MsgRef> refs;
+};
+
+/// Ask a current member to bring `joiner` into the group.
+struct JoinReq {
+    GroupId group;
+    EndpointId joiner;
+};
+
+/// Ask the group to let `leaver` go.
+struct LeaveReq {
+    GroupId group;
+    EndpointId leaver;
+};
+
+/// Gossip that `suspects` are believed failed (drives everyone's suspicion
+/// state toward agreement so the same coordinator is chosen).
+struct SuspectMsg {
+    GroupId group;
+    ViewEpoch epoch{0};
+    EndpointId reporter;
+    std::vector<EndpointId> suspects;
+};
+
+/// A view-change round is identified by (new_epoch, coordinator); higher
+/// pairs supersede lower ones.
+struct ProposeMsg {
+    GroupId group;
+    ViewEpoch old_epoch{0};
+    ViewEpoch new_epoch{0};
+    EndpointId coordinator;
+    std::vector<EndpointId> proposed_members;
+};
+
+/// Flush reply: everything the member has received in the old epoch that
+/// is not yet known stable, so the coordinator can compute a common cut.
+/// `orders` reports the member's known sequencer assignments (asymmetric
+/// groups) so the cut can be delivered in the agreed total order.
+struct FlushMsg {
+    GroupId group;
+    ViewEpoch new_epoch{0};
+    EndpointId coordinator;  // round this flush answers
+    EndpointId sender;
+    std::vector<DataMsg> unstable;
+    std::vector<std::pair<std::uint64_t, MsgRef>> orders;
+};
+
+/// Install the new view.  `cut` is the union of unstable messages; members
+/// of the old view deliver any of them not yet delivered — first those with
+/// sequencer assignments in `orders` (in assignment order), then the rest
+/// in (ts, sender) order — before switching to the new view.
+struct InstallMsg {
+    GroupId group;
+    View view;
+    EndpointId coordinator;
+    std::vector<DataMsg> cut;
+    std::vector<std::pair<std::uint64_t, MsgRef>> orders;
+};
+
+using GcsMessage = std::variant<DataMsg, NackMsg, OrderMsg, JoinReq, LeaveReq, SuspectMsg,
+                                ProposeMsg, FlushMsg, InstallMsg>;
+
+Bytes encode_gcs_message(const GcsMessage& msg);
+GcsMessage decode_gcs_message(const Bytes& wire);
+
+void encode(Encoder& e, const MsgRef& v);
+void decode(Decoder& d, MsgRef& v);
+void encode(Encoder& e, const KnowledgeEntry& v);
+void decode(Decoder& d, KnowledgeEntry& v);
+void encode(Encoder& e, const DataMsg& v);
+void decode(Decoder& d, DataMsg& v);
+
+}  // namespace newtop

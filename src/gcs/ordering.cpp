@@ -1,0 +1,186 @@
+#include "gcs/ordering.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace newtop {
+
+// -- SymmetricOrder -----------------------------------------------------------
+
+void SymmetricOrder::reset(std::vector<EndpointId> members) {
+    holdback_.clear();
+    latest_ts_.clear();
+    for (EndpointId m : members) latest_ts_[m] = 0;
+}
+
+void SymmetricOrder::on_data(const DataMsg& msg) {
+    auto it = latest_ts_.find(msg.sender);
+    NEWTOP_EXPECTS(it != latest_ts_.end(), "data from non-member fed to symmetric order");
+    it->second = std::max(it->second, msg.ts);
+    if (msg.kind == DataKind::kApplication) {
+        holdback_.emplace(Key{msg.ts, msg.sender}, msg);
+    }
+}
+
+bool SymmetricOrder::deliverable(const Key& key) const {
+    // `key` is always the lowest-ordered held-back message (the holdback
+    // map is scanned in order).  It is safe to deliver once every other
+    // member has been heard from at ts >= key.ts: successive sends from a
+    // member carry strictly increasing timestamps, so q's future messages
+    // order after key; and if q's message *at* key.ts orders before key it
+    // would itself be the holdback head.
+    for (const auto& [member, ts] : latest_ts_) {
+        if (member == key.sender) continue;
+        if (ts < key.ts) return false;
+    }
+    return true;
+}
+
+std::vector<DataMsg> SymmetricOrder::take_deliverable() {
+    std::vector<DataMsg> out;
+    while (!holdback_.empty() && deliverable(holdback_.begin()->first)) {
+        out.push_back(std::move(holdback_.begin()->second));
+        holdback_.erase(holdback_.begin());
+    }
+    return out;
+}
+
+std::optional<Lamport> SymmetricOrder::head_ts() const {
+    if (holdback_.empty()) return std::nullopt;
+    return holdback_.begin()->first.ts;
+}
+
+std::vector<DataMsg> SymmetricOrder::drain_pending() {
+    std::vector<DataMsg> out;
+    out.reserve(holdback_.size());
+    for (auto& [key, msg] : holdback_) out.push_back(std::move(msg));
+    holdback_.clear();
+    return out;
+}
+
+// -- SequencerOrder -----------------------------------------------------------
+
+void SequencerOrder::reset(std::vector<EndpointId> members, EndpointId self) {
+    NEWTOP_EXPECTS(!members.empty(), "sequencer order needs at least one member");
+    NEWTOP_EXPECTS(std::is_sorted(members.begin(), members.end()), "members must be sorted");
+    self_ = self;
+    sequencer_ = members.front();
+    next_assign_ = 0;
+    next_deliver_ = 0;
+    fresh_assignments_.clear();
+    assignment_.clear();
+    log_.clear();
+    data_store_.clear();
+}
+
+void SequencerOrder::on_data(const DataMsg& msg) {
+    if (msg.kind != DataKind::kApplication) return;  // nulls bypass ordering
+    const MsgRef ref{msg.sender, msg.seq};
+    data_store_.emplace(ref, msg);
+    if (is_sequencer()) {
+        assignment_.emplace(next_assign_, ref);
+        log_.emplace(next_assign_, ref);
+        ++next_assign_;
+        fresh_assignments_.push_back(ref);
+    }
+}
+
+void SequencerOrder::on_order(const OrderMsg& msg) {
+    if (is_sequencer()) return;  // we made the assignments ourselves
+    for (std::size_t i = 0; i < msg.refs.size(); ++i) {
+        assignment_.emplace(msg.first_order + i, msg.refs[i]);
+        log_.emplace(msg.first_order + i, msg.refs[i]);
+    }
+}
+
+std::optional<OrderMsg> SequencerOrder::take_order_to_send() {
+    if (fresh_assignments_.empty()) return std::nullopt;
+    OrderMsg out;
+    out.first_order = next_assign_ - fresh_assignments_.size();
+    out.refs = std::move(fresh_assignments_);
+    fresh_assignments_.clear();
+    return out;
+}
+
+std::vector<DataMsg> SequencerOrder::take_deliverable() {
+    std::vector<DataMsg> out;
+    while (true) {
+        auto order_it = assignment_.find(next_deliver_);
+        if (order_it == assignment_.end()) break;
+        auto data_it = data_store_.find(order_it->second);
+        if (data_it == data_store_.end()) break;
+        out.push_back(std::move(data_it->second));
+        data_store_.erase(data_it);
+        assignment_.erase(order_it);
+        ++next_deliver_;
+    }
+    return out;
+}
+
+std::vector<DataMsg> SequencerOrder::drain_pending() {
+    std::vector<DataMsg> out;
+    out.reserve(data_store_.size());
+    for (auto& [ref, msg] : data_store_) out.push_back(std::move(msg));
+    data_store_.clear();
+    assignment_.clear();
+    return out;
+}
+
+// -- CausalOrder --------------------------------------------------------------
+
+void CausalOrder::reset(std::vector<EndpointId> members) {
+    delivered_count_.clear();
+    for (EndpointId m : members) delivered_count_[m] = 0;
+    pending_.clear();
+}
+
+void CausalOrder::on_data(const DataMsg& msg) {
+    if (msg.kind != DataKind::kApplication) return;
+    pending_.push_back(msg);
+}
+
+bool CausalOrder::satisfied(const DataMsg& msg) const {
+    for (const auto& [member, needed] : msg.causal_vc) {
+        const auto it = delivered_count_.find(member);
+        // Dependencies on departed members were resolved by the view-change
+        // flush before this engine was reset; ignore them.
+        if (it == delivered_count_.end()) continue;
+        if (it->second < needed) return false;
+    }
+    return true;
+}
+
+std::vector<DataMsg> CausalOrder::take_deliverable() {
+    std::vector<DataMsg> out;
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (satisfied(*it)) {
+                ++delivered_count_[it->sender];
+                out.push_back(std::move(*it));
+                it = pending_.erase(it);
+                progressed = true;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<DataMsg> CausalOrder::drain_pending() {
+    std::vector<DataMsg> out = std::move(pending_);
+    pending_.clear();
+    return out;
+}
+
+std::vector<std::pair<EndpointId, Seqno>> CausalOrder::delivered_vector() const {
+    std::vector<std::pair<EndpointId, Seqno>> out;
+    out.reserve(delivered_count_.size());
+    for (const auto& [member, count] : delivered_count_) out.emplace_back(member, count);
+    return out;
+}
+
+}  // namespace newtop

@@ -1,0 +1,141 @@
+// Message-ordering engines.
+//
+// Each group runs one engine chosen at creation time (§3 of the paper):
+//
+//  * SymmetricOrder — causality-preserving total order by (Lamport ts,
+//    sender id).  A message is deliverable once every other member has been
+//    heard from with a later timestamp; idle members keep the order
+//    advancing with time-silence nulls.
+//  * SequencerOrder — the asymmetric protocol: the lowest-ranked view
+//    member assigns global order numbers and multicasts them.
+//  * CausalOrder — causal delivery only, via per-group dependency vectors.
+//
+// Engines are pure ordering state machines: they are fed FIFO-contiguous
+// messages (gap recovery happens upstream) and emit batches of deliverable
+// messages.  Keeping them free of I/O makes them directly unit-testable.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gcs/messages.hpp"
+#include "gcs/types.hpp"
+
+namespace newtop {
+
+/// Symmetric total order.  Deterministic rule shared by all members:
+/// deliver pending messages in (ts, sender) order, releasing the head once
+/// no member can still produce an earlier-ordered message.
+class SymmetricOrder {
+public:
+    /// Install membership (resets all ordering state).
+    void reset(std::vector<EndpointId> members);
+
+    /// Feed one FIFO-contiguous message (application or null) from a
+    /// current member.  Nulls advance the order but are not delivered.
+    void on_data(const DataMsg& msg);
+
+    /// Messages now deliverable, in delivery order.
+    std::vector<DataMsg> take_deliverable();
+
+    /// True if application messages are still waiting to be ordered —
+    /// drives the event-driven time-silence mechanism: while someone's
+    /// message is held back, everyone must keep nulling.
+    [[nodiscard]] bool has_pending() const { return !holdback_.empty(); }
+
+    /// Lowest timestamp this engine still considers undeliverable (for
+    /// diagnostics/tests).
+    [[nodiscard]] std::optional<Lamport> head_ts() const;
+
+    /// Remove and return everything still held back (view-change flush).
+    std::vector<DataMsg> drain_pending();
+
+private:
+    struct Key {
+        Lamport ts;
+        EndpointId sender;
+        friend auto operator<=>(const Key&, const Key&) = default;
+    };
+
+    [[nodiscard]] bool deliverable(const Key& key) const;
+
+    std::map<Key, DataMsg> holdback_;
+    std::map<EndpointId, Lamport> latest_ts_;
+};
+
+/// Asymmetric total order.  The sequencer assigns consecutive order
+/// numbers to application messages as it receives them; everyone delivers
+/// in order-number sequence once both the data and its order record are
+/// present.  The sequencer's own messages are ordered with zero extra hops
+/// — the property the restricted-group optimisation (§4.2) exploits.
+class SequencerOrder {
+public:
+    /// Install membership; `self` determines the sequencer role.
+    void reset(std::vector<EndpointId> members, EndpointId self);
+
+    [[nodiscard]] bool is_sequencer() const { return self_ == sequencer_; }
+    [[nodiscard]] EndpointId sequencer() const { return sequencer_; }
+
+    /// Feed one FIFO-contiguous message.  Nulls bypass ordering.
+    void on_data(const DataMsg& msg);
+
+    /// Feed an order record from the sequencer.
+    void on_order(const OrderMsg& msg);
+
+    /// If this member is the sequencer and new assignments were made,
+    /// returns the order record to multicast.
+    std::optional<OrderMsg> take_order_to_send();
+
+    /// Messages now deliverable, in global order.
+    std::vector<DataMsg> take_deliverable();
+
+    [[nodiscard]] bool has_pending() const {
+        return !data_store_.empty() || !assignment_.empty();
+    }
+
+    /// All assignments learned this epoch (including delivered ones) — the
+    /// view-change flush reports these so the cut preserves sequencer order.
+    [[nodiscard]] const std::map<std::uint64_t, MsgRef>& assignment_log() const { return log_; }
+
+    /// Remove and return everything still held back (view-change flush).
+    std::vector<DataMsg> drain_pending();
+
+private:
+    EndpointId self_;
+    EndpointId sequencer_;
+    std::uint64_t next_assign_{0};   // sequencer: next order number to hand out
+    std::uint64_t next_deliver_{0};  // everyone: next order number to deliver
+    std::vector<MsgRef> fresh_assignments_;
+    std::map<std::uint64_t, MsgRef> assignment_;  // order number -> undelivered message
+    std::map<std::uint64_t, MsgRef> log_;         // order number -> message (whole epoch)
+    std::map<MsgRef, DataMsg> data_store_;        // undelivered data
+};
+
+/// Causal order via dependency vectors: message m carries, per member, how
+/// many of that member's messages the sender had delivered; m is delivered
+/// once the local count matches.
+class CausalOrder {
+public:
+    void reset(std::vector<EndpointId> members);
+
+    void on_data(const DataMsg& msg);
+
+    std::vector<DataMsg> take_deliverable();
+
+    /// Snapshot of delivered counts, to stamp onto outgoing messages.
+    [[nodiscard]] std::vector<std::pair<EndpointId, Seqno>> delivered_vector() const;
+
+    [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+
+    /// Remove and return everything still held back (view-change flush).
+    std::vector<DataMsg> drain_pending();
+
+private:
+    [[nodiscard]] bool satisfied(const DataMsg& msg) const;
+
+    std::map<EndpointId, Seqno> delivered_count_;
+    std::vector<DataMsg> pending_;
+};
+
+}  // namespace newtop

@@ -1,0 +1,82 @@
+// Identifier and configuration vocabulary for the group communication
+// service (the lower half of the NewTop service, §3 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/strong_id.hpp"
+
+namespace newtop {
+
+struct GroupIdTag {};
+struct EndpointIdTag {};
+
+/// A group of communicating endpoints.
+using GroupId = StrongId<GroupIdTag, std::uint64_t>;
+
+/// One NewTop service object's group-communication identity.  An endpoint
+/// may belong to many groups simultaneously (overlapping groups).
+using EndpointId = StrongId<EndpointIdTag, std::uint64_t>;
+
+/// Monotonic view number within a group; each installed view increments it.
+using ViewEpoch = std::uint64_t;
+
+/// Per-(group, sender, epoch) message sequence number, starting at 0.
+using Seqno = std::uint64_t;
+
+/// Lamport logical timestamp.  One clock per endpoint, shared across all of
+/// its groups — the property that keeps delivery order consistent for
+/// members of overlapping groups.
+using Lamport = std::uint64_t;
+
+/// How messages in a group are ordered before delivery.
+enum class OrderMode : std::uint8_t {
+    /// Causality-preserving total order, symmetric protocol: all members
+    /// run the same deterministic Lamport-timestamp ordering rule and
+    /// exchange null messages (time-silence) to advance it.
+    kTotalSymmetric = 0,
+    /// Causality-preserving total order, asymmetric protocol: the lowest-
+    /// ranked view member acts as sequencer.
+    kTotalAsymmetric = 1,
+    /// Causal (vector-style) order only; concurrent messages may be
+    /// delivered in different orders at different members.
+    kCausal = 2,
+};
+
+/// When the time-silence and failure-suspicion machinery runs (§3).
+enum class LivenessMode : std::uint8_t {
+    /// Mechanisms active for the whole lifetime of the group — appropriate
+    /// for peer groups.
+    kLively = 0,
+    /// Mechanisms active only while application messages are outstanding —
+    /// appropriate for request-reply groups.
+    kEventDriven = 1,
+};
+
+/// Per-group configuration fixed at creation time.
+struct GroupConfig {
+    OrderMode order{OrderMode::kTotalSymmetric};
+    LivenessMode liveness{LivenessMode::kEventDriven};
+    /// A member that has sent nothing for this long emits an "I am alive"
+    /// null (while the mechanism is active).  Its job is liveness, so it
+    /// only needs to beat the suspicion timeout comfortably; ordering
+    /// progress is driven by the (much faster) ack_delay nulls below.
+    SimDuration time_silence{100'000};  // 100 ms
+    /// Symmetric-order progress nulls: while a message is held back waiting
+    /// for other members' timestamps, idle members null after this much
+    /// silence so the order advances promptly (the "protocol specific
+    /// messages ... to enable message ordering" of §1).
+    SimDuration ack_delay{500};  // 0.5 ms
+    /// A member heard nothing from for this long is suspected to have
+    /// failed (while the mechanism is active).
+    SimDuration suspicion_timeout{200'000};  // 200 ms
+    /// A view-change round that has not completed within this long is
+    /// restarted by the next-ranked coordinator.
+    SimDuration view_change_timeout{400'000};  // 400 ms
+    /// How often the stability vector is gossiped while active, to prune
+    /// retransmission buffers.
+    SimDuration stability_period{100'000};  // 100 ms
+};
+
+}  // namespace newtop

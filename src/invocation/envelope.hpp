@@ -1,0 +1,71 @@
+// Invocation-layer wire envelopes.
+//
+// These ride as payloads of GCS multicasts (requests, forwards, in-group
+// replies, aggregates) or of direct ORB oneways (closed-mode replies sent
+// "directly" to the client, §2.1).
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "invocation/types.hpp"
+#include "serial/serial.hpp"
+
+namespace newtop {
+
+/// Request flags (bit set).
+inline constexpr std::uint8_t kFlagAsyncForwarding = 1 << 0;
+/// The forward is informational only: execute but do not reply (used for
+/// the passive side of asynchronous forwarding).
+inline constexpr std::uint8_t kFlagNoReply = 1 << 1;
+
+/// Client -> server(s).  In open mode, multicast in the client/server
+/// group; in closed mode, multicast in the access group.
+struct RequestEnv {
+    CallId call;
+    InvocationMode mode{InvocationMode::kWaitFirst};
+    std::uint8_t flags{0};
+    GroupId server_group;  // which service this call targets
+    BindMode bind{BindMode::kOpen};
+    std::uint32_t method{0};
+    Bytes args;
+};
+
+/// Request manager -> server group (step (ii) of fig. 4).
+struct ForwardEnv {
+    CallId call;
+    InvocationMode mode{InvocationMode::kWaitFirst};
+    std::uint8_t flags{0};
+    EndpointId manager;  // who is collecting replies
+    std::uint32_t method{0};
+    Bytes args;
+};
+
+/// One server's reply.  Multicast within the server group (open mode,
+/// fig. 4(iii)) or sent directly to the client (closed mode).
+struct ReplyEnv {
+    CallId call;
+    EndpointId replier;
+    bool ok{true};
+    Bytes value;
+};
+
+/// Request manager -> client(s): the gathered replies (fig. 4(iv)).
+struct AggregateEnv {
+    CallId call;
+    bool complete{true};
+    std::vector<ReplyEntry> replies;
+};
+
+using InvocationEnvelope = std::variant<RequestEnv, ForwardEnv, ReplyEnv, AggregateEnv>;
+
+Bytes encode_envelope(const InvocationEnvelope& env);
+InvocationEnvelope decode_envelope(const Bytes& wire);
+
+void encode(Encoder& e, const CallId& v);
+void decode(Decoder& d, CallId& v);
+void encode(Encoder& e, const ReplyEntry& v);
+void decode(Decoder& d, ReplyEntry& v);
+
+}  // namespace newtop

@@ -1,0 +1,32 @@
+// The application-side interface for objects served by a group.
+#pragma once
+
+#include <cstdint>
+
+#include "net/calibration.hpp"
+#include "orb/servant.hpp"  // for ServantError
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace newtop {
+
+/// An object replicated across the members of a server group.  Each member
+/// executes delivered requests in the agreed total order, so deterministic
+/// implementations stay mutually consistent (active replication).
+class GroupServant {
+public:
+    virtual ~GroupServant() = default;
+
+    /// Execute `method` with encoded `args`; returns the encoded result.
+    /// Throw ServantError to report an application-level failure to the
+    /// caller (it arrives as a not-ok ReplyEntry).
+    virtual Bytes handle(std::uint32_t method, const Bytes& args) = 0;
+
+    /// Simulated CPU cost of executing `method`.
+    [[nodiscard]] virtual SimDuration execution_cost(std::uint32_t method) const {
+        (void)method;
+        return calibration::kTrivialServantCost;
+    }
+};
+
+}  // namespace newtop

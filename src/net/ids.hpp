@@ -1,0 +1,20 @@
+// Identifier vocabulary for the network layer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/strong_id.hpp"
+
+namespace newtop {
+
+struct SiteIdTag {};
+struct NodeIdTag {};
+
+/// A geographic site (e.g. the Newcastle LAN, London, Pisa).  Links between
+/// sites model WAN paths; links within a site model the local LAN.
+using SiteId = StrongId<SiteIdTag, std::uint32_t>;
+
+/// A single simulated host.
+using NodeId = StrongId<NodeIdTag, std::uint32_t>;
+
+}  // namespace newtop

@@ -1,0 +1,88 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace newtop {
+
+Network::Network(Scheduler& scheduler, Topology topology, std::uint64_t seed)
+    : scheduler_(&scheduler), topology_(std::move(topology)), rng_(seed) {}
+
+NodeId Network::add_node(SiteId site) {
+    NEWTOP_EXPECTS(site.value() < topology_.site_count(), "unknown site");
+    const NodeId id(static_cast<NodeId::rep_type>(nodes_.size()));
+    nodes_.push_back(std::make_unique<Node>(id, site, *scheduler_));
+    partition_cell_.push_back(0);
+    return id;
+}
+
+Node& Network::node(NodeId id) {
+    NEWTOP_EXPECTS(id.value() < nodes_.size(), "unknown node");
+    return *nodes_[id.value()];
+}
+
+const Node& Network::node(NodeId id) const {
+    NEWTOP_EXPECTS(id.value() < nodes_.size(), "unknown node");
+    return *nodes_[id.value()];
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+    Node& src = node(from);
+    Node& dst = node(to);
+    if (src.crashed()) return;
+
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+
+    const LinkParams& link = topology_.link(src.site(), dst.site());
+    if (src.site() != dst.site()) ++stats_.wan_messages;
+
+    if (rng_.next_bool(link.loss)) {
+        ++stats_.messages_lost;
+        return;
+    }
+
+    SimDuration delay = link.latency;
+    if (link.jitter > 0) delay += rng_.next_in_signed(0, link.jitter);
+    if (link.bytes_per_us > 0.0) {
+        delay += static_cast<SimDuration>(static_cast<double>(payload.size()) / link.bytes_per_us);
+    }
+
+    // FIFO per (from, to): arrival may not precede the previous arrival.
+    SimTime arrival = scheduler_->now() + delay;
+    auto& last = last_arrival_[{from, to}];
+    arrival = std::max(arrival, last);
+    last = arrival;
+
+    scheduler_->schedule_at(arrival, [this, from, to, payload = std::move(payload)] {
+        if (partition_cell_[from.value()] != partition_cell_[to.value()]) {
+            ++stats_.messages_lost;
+            return;
+        }
+        Node& receiver = node(to);
+        if (receiver.crashed()) {
+            ++stats_.messages_lost;
+            return;
+        }
+        ++stats_.messages_delivered;
+        receiver.deliver(from, payload);
+    });
+}
+
+void Network::crash(NodeId id) { node(id).crash(); }
+
+void Network::set_partition(NodeId id, int cell) {
+    NEWTOP_EXPECTS(id.value() < nodes_.size(), "unknown node");
+    partition_cell_[id.value()] = cell;
+}
+
+void Network::partition_site(SiteId site, int cell) {
+    for (const auto& n : nodes_) {
+        if (n->site() == site) partition_cell_[n->id().value()] = cell;
+    }
+}
+
+void Network::heal() { std::fill(partition_cell_.begin(), partition_cell_.end(), 0); }
+
+}  // namespace newtop

@@ -1,0 +1,81 @@
+// The simulated network: creates nodes, moves bytes between them, and
+// injects faults (message loss, crashes, partitions).
+//
+// Delivery of a message takes
+//     latency + U(0, jitter) + size / bandwidth
+// on the link between the two nodes' sites.  Per-(sender, receiver) FIFO
+// order is preserved (like a TCP connection): a message never overtakes an
+// earlier message between the same pair.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace newtop {
+
+/// Aggregate traffic statistics, useful for comparing protocol overheads
+/// (e.g. symmetric-order null traffic vs. sequencer redirection).
+struct NetworkStats {
+    std::uint64_t messages_sent{0};
+    std::uint64_t messages_delivered{0};
+    std::uint64_t messages_lost{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t wan_messages{0};  // messages that crossed a site boundary
+};
+
+class Network {
+public:
+    Network(Scheduler& scheduler, Topology topology, std::uint64_t seed);
+
+    /// Create a node at `site`.
+    NodeId add_node(SiteId site);
+
+    Node& node(NodeId id);
+    [[nodiscard]] const Node& node(NodeId id) const;
+    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+    /// Send bytes from one node to another.  The payload is copied; loss,
+    /// partition and crash checks apply.  Sending from a crashed node is a
+    /// silent no-op (the process no longer exists).
+    void send(NodeId from, NodeId to, Bytes payload);
+
+    /// Crash-stop a node.
+    void crash(NodeId id);
+
+    // -- Partitions --------------------------------------------------------
+    // Each node lives in a partition cell (default 0).  Messages are only
+    // delivered between nodes that share a cell *at delivery time*.
+
+    /// Move a single node to a partition cell.
+    void set_partition(NodeId id, int cell);
+
+    /// Move every node of a site to a partition cell.
+    void partition_site(SiteId site, int cell);
+
+    /// Merge all cells back into one connected network.
+    void heal();
+
+    [[nodiscard]] const Topology& topology() const { return topology_; }
+    [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+    [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+
+private:
+    Scheduler* scheduler_;
+    Topology topology_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<int> partition_cell_;
+    // Arrival time of the previous message per (from, to), for FIFO links.
+    std::map<std::pair<NodeId, NodeId>, SimTime> last_arrival_;
+    NetworkStats stats_;
+};
+
+}  // namespace newtop

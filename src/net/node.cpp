@@ -1,0 +1,4 @@
+#include "net/node.hpp"
+
+// Node is header-only today; this translation unit anchors the type for the
+// library target and future out-of-line growth.

@@ -1,0 +1,58 @@
+// A simulated host.
+//
+// A node bundles an identity, a location (site), a single-server CPU and a
+// message receiver.  The network delivers raw bytes to the receiver; what
+// runs on top (the ORB) decides how much CPU each message costs.
+#pragma once
+
+#include <functional>
+
+#include "net/ids.hpp"
+#include "sim/cpu_queue.hpp"
+#include "util/bytes.hpp"
+
+namespace newtop {
+
+class Node {
+public:
+    using Receiver = std::function<void(NodeId from, const Bytes& payload)>;
+
+    Node(NodeId id, SiteId site, Scheduler& scheduler)
+        : id_(id), site_(site), cpu_(scheduler) {}
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    [[nodiscard]] NodeId id() const { return id_; }
+    [[nodiscard]] SiteId site() const { return site_; }
+    [[nodiscard]] bool crashed() const { return crashed_; }
+
+    CpuQueue& cpu() { return cpu_; }
+
+    /// Install the message handler.  A node without a receiver drops
+    /// everything delivered to it.
+    void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+    /// Called by the network at message-arrival time.
+    void deliver(NodeId from, const Bytes& payload) {
+        if (!crashed_ && receiver_) receiver_(from, payload);
+    }
+
+    /// Crash-stop the node: pending CPU work is dropped and all future
+    /// deliveries are discarded.  There is no recovery — a restarted
+    /// process would rejoin as a fresh group member, matching the paper's
+    /// crash-stop failure model.
+    void crash() {
+        crashed_ = true;
+        cpu_.kill();
+    }
+
+private:
+    NodeId id_;
+    SiteId site_;
+    CpuQueue cpu_;
+    Receiver receiver_;
+    bool crashed_{false};
+};
+
+}  // namespace newtop

@@ -1,0 +1,35 @@
+#include "net/topology.hpp"
+
+#include "util/check.hpp"
+
+namespace newtop {
+
+SiteId Topology::add_site(std::string name, LinkParams local) {
+    sites_.push_back(Site{std::move(name), local});
+    return SiteId(static_cast<SiteId::rep_type>(sites_.size() - 1));
+}
+
+std::pair<SiteId, SiteId> Topology::ordered(SiteId a, SiteId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+void Topology::set_link(SiteId a, SiteId b, LinkParams params) {
+    NEWTOP_EXPECTS(a != b, "intra-site link is set at add_site time");
+    NEWTOP_EXPECTS(a.value() < sites_.size() && b.value() < sites_.size(), "unknown site");
+    wan_links_[ordered(a, b)] = params;
+}
+
+const LinkParams& Topology::link(SiteId a, SiteId b) const {
+    NEWTOP_EXPECTS(a.value() < sites_.size() && b.value() < sites_.size(), "unknown site");
+    if (a == b) return sites_[a.value()].local;
+    auto it = wan_links_.find(ordered(a, b));
+    NEWTOP_EXPECTS(it != wan_links_.end(), "no link configured between sites");
+    return it->second;
+}
+
+const std::string& Topology::site_name(SiteId site) const {
+    NEWTOP_EXPECTS(site.value() < sites_.size(), "unknown site");
+    return sites_[site.value()].name;
+}
+
+}  // namespace newtop

@@ -1,0 +1,59 @@
+// Network topology: sites and the link characteristics between them.
+//
+// The model is site-based: any two nodes within a site communicate over the
+// site's local link (LAN); nodes at different sites use the inter-site link
+// (WAN).  This mirrors the paper's setup — machines on the Newcastle LAN
+// plus Internet paths Newcastle/London/Pisa.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace newtop {
+
+/// Characteristics of one directionless link.
+struct LinkParams {
+    /// One-way propagation latency.
+    SimDuration latency{0};
+    /// Maximum additional uniformly-distributed one-way jitter.
+    SimDuration jitter{0};
+    /// Probability that a message is silently lost in transit.
+    double loss{0.0};
+    /// Throughput in bytes per microsecond (e.g. 100 Mbit/s = 12.5).
+    /// Zero means "infinite" (no serialization delay).
+    double bytes_per_us{0.0};
+};
+
+class Topology {
+public:
+    /// Register a site.  Its intra-site (LAN) link defaults to `local`.
+    SiteId add_site(std::string name, LinkParams local);
+
+    /// Set the WAN link between two distinct sites (symmetric).
+    void set_link(SiteId a, SiteId b, LinkParams params);
+
+    /// Link parameters between two sites (either order); a == b gives the
+    /// intra-site LAN link.  Throws if the pair was never configured.
+    [[nodiscard]] const LinkParams& link(SiteId a, SiteId b) const;
+
+    [[nodiscard]] const std::string& site_name(SiteId site) const;
+    [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+private:
+    struct Site {
+        std::string name;
+        LinkParams local;
+    };
+
+    static std::pair<SiteId, SiteId> ordered(SiteId a, SiteId b);
+
+    std::vector<Site> sites_;
+    std::map<std::pair<SiteId, SiteId>, LinkParams> wan_links_;
+};
+
+}  // namespace newtop

@@ -1,0 +1,21 @@
+#include "orb/object_adapter.hpp"
+
+#include "util/check.hpp"
+
+namespace newtop {
+
+Ior ObjectAdapter::activate(std::shared_ptr<Servant> servant, std::string type_name) {
+    NEWTOP_EXPECTS(servant != nullptr, "cannot activate a null servant");
+    const ObjectKey key(next_key_++);
+    servants_.emplace(key, std::move(servant));
+    return Ior{node_, key, std::move(type_name)};
+}
+
+void ObjectAdapter::deactivate(ObjectKey key) { servants_.erase(key); }
+
+Servant* ObjectAdapter::find(ObjectKey key) const {
+    auto it = servants_.find(key);
+    return it == servants_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace newtop

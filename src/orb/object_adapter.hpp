@@ -1,0 +1,34 @@
+// Object adapter: the per-node registry mapping object keys to servants.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/ids.hpp"
+#include "orb/ior.hpp"
+#include "orb/servant.hpp"
+
+namespace newtop {
+
+class ObjectAdapter {
+public:
+    explicit ObjectAdapter(NodeId node) : node_(node) {}
+
+    /// Activate a servant; returns the reference clients invoke it by.
+    /// The adapter shares ownership so servants stay alive while exported.
+    Ior activate(std::shared_ptr<Servant> servant, std::string type_name);
+
+    /// Remove an object.  In-flight requests to it will get kNoObject.
+    void deactivate(ObjectKey key);
+
+    /// Look up a servant; nullptr when the key is unknown or deactivated.
+    [[nodiscard]] Servant* find(ObjectKey key) const;
+
+private:
+    NodeId node_;
+    ObjectKey::rep_type next_key_{1};
+    std::unordered_map<ObjectKey, std::shared_ptr<Servant>> servants_;
+};
+
+}  // namespace newtop

@@ -1,0 +1,42 @@
+// Server-side object implementation interface.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/calibration.hpp"
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace newtop {
+
+/// Thrown by a servant to signal an application-level failure; the ORB
+/// propagates it to the caller as an exception reply.
+class ServantError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Base class for remotely invocable objects.
+///
+/// A servant receives the method id and encoded arguments and returns the
+/// encoded result — the typed stub/skeleton layer that a CORBA IDL compiler
+/// would generate is written by hand in this library (see the examples).
+class Servant {
+public:
+    virtual ~Servant() = default;
+
+    /// Execute `method` with `args`; returns the encoded result.
+    virtual Bytes dispatch(std::uint32_t method, const Bytes& args) = 0;
+
+    /// Simulated CPU time the servant consumes executing `method`.  The
+    /// default models a trivial service (the paper benchmarks a
+    /// pseudo-random-number generator with negligible compute).
+    [[nodiscard]] virtual SimDuration execution_cost(std::uint32_t method) const {
+        (void)method;
+        return calibration::kTrivialServantCost;
+    }
+};
+
+}  // namespace newtop

@@ -1,0 +1,20 @@
+// Stateful servants: the state-transfer contract replication needs.
+#pragma once
+
+#include "invocation/group_servant.hpp"
+
+namespace newtop {
+
+/// A group servant whose full state can be captured and restored — the
+/// "state transfer facility" the paper notes is required on top of the
+/// object group service to support replication of stateful objects (§2.2).
+class StatefulServant : public GroupServant {
+public:
+    /// Serialize the complete application state.
+    [[nodiscard]] virtual Bytes snapshot() const = 0;
+
+    /// Replace the application state with a previously captured snapshot.
+    virtual void restore(const Bytes& snapshot) = 0;
+};
+
+}  // namespace newtop

@@ -1,0 +1,56 @@
+#include "serial/decoder.hpp"
+
+#include <cstring>
+
+namespace newtop {
+
+void Decoder::require(std::size_t n) const {
+    if (buf_->size() - pos_ < n) throw DecodeError("truncated input");
+}
+
+std::uint8_t Decoder::get_u8() {
+    require(1);
+    return (*buf_)[pos_++];
+}
+
+std::uint64_t Decoder::get_le(std::size_t n) {
+    require(n);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        v |= static_cast<std::uint64_t>((*buf_)[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+}
+
+bool Decoder::get_bool() {
+    const std::uint8_t v = get_u8();
+    if (v > 1) throw DecodeError("invalid bool encoding");
+    return v == 1;
+}
+
+double Decoder::get_double() {
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string Decoder::get_string() {
+    const std::uint32_t n = get_u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(buf_->data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+Bytes Decoder::get_blob() {
+    const std::uint32_t n = get_u32();
+    require(n);
+    Bytes b(buf_->begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+}
+
+}  // namespace newtop

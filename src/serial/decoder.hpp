@@ -1,0 +1,126 @@
+// Wire decoding, the inverse of Encoder.
+//
+// Every read is bounds-checked; malformed or truncated input raises
+// DecodeError rather than reading out of range (Core Guidelines P.7: catch
+// run-time errors early).  Decoders never copy the input buffer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace newtop {
+
+/// Thrown when the input is truncated or structurally invalid.
+class DecodeError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class Decoder {
+public:
+    /// The decoder borrows `buf`; the caller keeps it alive while decoding.
+    explicit Decoder(const Bytes& buf) : buf_(&buf) {}
+
+    std::uint8_t get_u8();
+    std::uint16_t get_u16() { return static_cast<std::uint16_t>(get_le(2)); }
+    std::uint32_t get_u32() { return static_cast<std::uint32_t>(get_le(4)); }
+    std::uint64_t get_u64() { return get_le(8); }
+    std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+    std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+    bool get_bool();
+    double get_double();
+    std::string get_string();
+    Bytes get_blob();
+
+    /// True when the whole buffer has been consumed.
+    [[nodiscard]] bool exhausted() const { return pos_ == buf_->size(); }
+
+    /// Bytes remaining.
+    [[nodiscard]] std::size_t remaining() const { return buf_->size() - pos_; }
+
+private:
+    std::uint64_t get_le(std::size_t n);
+    void require(std::size_t n) const;
+
+    const Bytes* buf_;
+    std::size_t pos_{0};
+};
+
+// ---------------------------------------------------------------------------
+// decode(): mirror of encode().  Types provide `decode(Decoder&, T&)`.
+// ---------------------------------------------------------------------------
+
+inline void decode(Decoder& d, std::uint8_t& v) { v = d.get_u8(); }
+inline void decode(Decoder& d, std::uint16_t& v) { v = d.get_u16(); }
+inline void decode(Decoder& d, std::uint32_t& v) { v = d.get_u32(); }
+inline void decode(Decoder& d, std::uint64_t& v) { v = d.get_u64(); }
+inline void decode(Decoder& d, std::int32_t& v) { v = d.get_i32(); }
+inline void decode(Decoder& d, std::int64_t& v) { v = d.get_i64(); }
+inline void decode(Decoder& d, bool& v) { v = d.get_bool(); }
+inline void decode(Decoder& d, double& v) { v = d.get_double(); }
+inline void decode(Decoder& d, std::string& v) { v = d.get_string(); }
+inline void decode(Decoder& d, Bytes& v) { v = d.get_blob(); }
+
+template <typename T>
+void decode(Decoder& d, std::vector<T>& v) {
+    const std::uint32_t n = d.get_u32();
+    // Guard against hostile lengths: each element needs at least one byte.
+    if (n > d.remaining()) throw DecodeError("sequence length exceeds input");
+    v.clear();
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        T item;
+        decode(d, item);
+        v.push_back(std::move(item));
+    }
+}
+
+template <typename T>
+void decode(Decoder& d, std::optional<T>& v) {
+    if (d.get_bool()) {
+        T item;
+        decode(d, item);
+        v = std::move(item);
+    } else {
+        v.reset();
+    }
+}
+
+template <typename A, typename B>
+void decode(Decoder& d, std::pair<A, B>& v) {
+    decode(d, v.first);
+    decode(d, v.second);
+}
+
+template <typename K, typename V>
+void decode(Decoder& d, std::map<K, V>& v) {
+    const std::uint32_t n = d.get_u32();
+    if (n > d.remaining()) throw DecodeError("map length exceeds input");
+    v.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        K key;
+        V value;
+        decode(d, key);
+        decode(d, value);
+        v.emplace(std::move(key), std::move(value));
+    }
+}
+
+/// Decode a whole buffer into one value; throws if bytes are left over.
+template <typename T>
+T decode_from_bytes(const Bytes& buf) {
+    Decoder d(buf);
+    T value;
+    decode(d, value);
+    if (!d.exhausted()) throw DecodeError("trailing bytes after value");
+    return value;
+}
+
+}  // namespace newtop

@@ -1,0 +1,25 @@
+#include "serial/encoder.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace newtop {
+
+void Encoder::put_double(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+}
+
+void Encoder::put_string(std::string_view v) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Encoder::put_blob(const Bytes& v) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+}  // namespace newtop

@@ -1,0 +1,109 @@
+// Wire encoding (CDR-inspired).
+//
+// Every protocol message in the system — ORB requests, group-communication
+// control traffic, invocation-layer envelopes — is serialized to bytes with
+// this encoder before it touches the network model, so message sizes (and
+// hence transmission delays) are realistic.
+//
+// Format: little-endian fixed-width integers, length-prefixed strings and
+// sequences, one byte per bool.  There is no alignment padding; the format
+// is private to this library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace newtop {
+
+class Encoder {
+public:
+    Encoder() = default;
+
+    void put_u8(std::uint8_t v) { buf_.push_back(v); }
+    void put_u16(std::uint16_t v) { put_le(v); }
+    void put_u32(std::uint32_t v) { put_le(v); }
+    void put_u64(std::uint64_t v) { put_le(v); }
+    void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+    void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+    void put_bool(bool v) { put_u8(v ? 1 : 0); }
+    void put_double(double v);
+    void put_string(std::string_view v);
+    void put_blob(const Bytes& v);
+
+    /// Finish and take the encoded buffer.
+    [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+    /// Bytes written so far.
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+private:
+    template <typename T>
+    void put_le(T v) {
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        }
+    }
+
+    Bytes buf_;
+};
+
+// ---------------------------------------------------------------------------
+// encode(): the extension point.  Types become wire-encodable by providing a
+// free function `encode(Encoder&, const T&)` findable by ADL; the overloads
+// below cover primitives and standard containers of encodable types.
+// ---------------------------------------------------------------------------
+
+inline void encode(Encoder& e, std::uint8_t v) { e.put_u8(v); }
+inline void encode(Encoder& e, std::uint16_t v) { e.put_u16(v); }
+inline void encode(Encoder& e, std::uint32_t v) { e.put_u32(v); }
+inline void encode(Encoder& e, std::uint64_t v) { e.put_u64(v); }
+inline void encode(Encoder& e, std::int32_t v) { e.put_i32(v); }
+inline void encode(Encoder& e, std::int64_t v) { e.put_i64(v); }
+inline void encode(Encoder& e, bool v) { e.put_bool(v); }
+inline void encode(Encoder& e, double v) { e.put_double(v); }
+inline void encode(Encoder& e, const std::string& v) { e.put_string(v); }
+inline void encode(Encoder& e, const Bytes& v) { e.put_blob(v); }
+
+template <typename T>
+void encode(Encoder& e, const std::vector<T>& v) {
+    e.put_u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto& item : v) encode(e, item);
+}
+
+template <typename T>
+void encode(Encoder& e, const std::optional<T>& v) {
+    e.put_bool(v.has_value());
+    if (v) encode(e, *v);
+}
+
+template <typename A, typename B>
+void encode(Encoder& e, const std::pair<A, B>& v) {
+    encode(e, v.first);
+    encode(e, v.second);
+}
+
+template <typename K, typename V>
+void encode(Encoder& e, const std::map<K, V>& v) {
+    e.put_u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto& [key, value] : v) {
+        encode(e, key);
+        encode(e, value);
+    }
+}
+
+/// Encode a single value to a standalone buffer.
+template <typename T>
+Bytes encode_to_bytes(const T& value) {
+    Encoder e;
+    encode(e, value);
+    return std::move(e).take();
+}
+
+}  // namespace newtop

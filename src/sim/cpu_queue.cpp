@@ -1,0 +1,33 @@
+#include "sim/cpu_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace newtop {
+
+void CpuQueue::execute(SimDuration cost, std::function<void()> fn) {
+    NEWTOP_EXPECTS(cost >= 0, "CPU cost must be non-negative");
+    NEWTOP_EXPECTS(fn != nullptr, "CPU work must be callable");
+    if (dead_) return;
+    const SimTime start = std::max(scheduler_->now(), busy_until_);
+    busy_until_ = start + cost;
+    consumed_ += cost;
+    const std::uint64_t epoch = epoch_;
+    scheduler_->schedule_at(busy_until_, [this, epoch, fn = std::move(fn)] {
+        if (epoch == epoch_) fn();
+    });
+}
+
+void CpuQueue::reset() {
+    ++epoch_;
+    busy_until_ = scheduler_->now();
+    consumed_ = 0;
+}
+
+void CpuQueue::kill() {
+    reset();
+    dead_ = true;
+}
+
+}  // namespace newtop

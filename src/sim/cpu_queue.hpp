@@ -1,0 +1,49 @@
+// Single-server CPU model.
+//
+// Each simulated host has one CPU on which all local work — marshalling,
+// protocol processing, servant execution — is serialized.  This queueing is
+// what makes throughput saturate: on a low-latency LAN a single client can
+// keep a server's CPU permanently busy, exactly the behaviour the paper
+// reports (§5.1.1).
+#pragma once
+
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace newtop {
+
+class CpuQueue {
+public:
+    explicit CpuQueue(Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+    /// Run `fn` after `cost` microseconds of CPU time, queued FIFO behind
+    /// any work already submitted.  Zero-cost work still round-trips
+    /// through the scheduler so that handlers never run re-entrantly.
+    void execute(SimDuration cost, std::function<void()> fn);
+
+    /// Time at which currently queued work completes.
+    [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+
+    /// Total CPU time consumed so far (for utilisation reporting).
+    [[nodiscard]] SimDuration consumed() const { return consumed_; }
+
+    /// Drop all queued work (used when a node crashes).  Already-scheduled
+    /// completions are suppressed via the epoch counter.
+    void reset();
+
+    /// Permanently stop the CPU: queued work is dropped and all future
+    /// execute() calls become no-ops.  Models crash-stop — a dead process
+    /// runs nothing, ever.
+    void kill();
+
+private:
+    Scheduler* scheduler_;
+    SimTime busy_until_{0};
+    SimDuration consumed_{0};
+    std::uint64_t epoch_{0};
+    bool dead_{false};
+};
+
+}  // namespace newtop

@@ -1,0 +1,71 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace newtop {
+
+TimerId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+    NEWTOP_EXPECTS(fn != nullptr, "scheduled function must be callable");
+    const TimerId id = next_id_++;
+    queue_.push(Event{std::max(at, now_), next_seq_++, id, std::move(fn)});
+    return id;
+}
+
+TimerId Scheduler::schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+void Scheduler::cancel(TimerId id) {
+    if (id != 0) cancelled_.insert(id);
+}
+
+bool Scheduler::pop_next(Event& out) {
+    while (!queue_.empty()) {
+        // priority_queue::top() is const; the handler is moved out after
+        // the pop via a copy of the small Event shell.
+        out = queue_.top();
+        queue_.pop();
+        if (auto it = cancelled_.find(out.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        return true;
+    }
+    return false;
+}
+
+bool Scheduler::step() {
+    Event ev;
+    if (!pop_next(ev)) return false;
+    now_ = ev.at;
+    ev.fn();
+    return true;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+    std::size_t n = 0;
+    while (n < limit && step()) ++n;
+    return n;
+}
+
+void Scheduler::run_until(SimTime deadline) {
+    Event ev;
+    while (true) {
+        if (queue_.empty()) break;
+        // Peek: if the earliest event is beyond the deadline, stop.
+        if (queue_.top().at > deadline) break;
+        if (!pop_next(ev)) break;
+        if (ev.at > deadline) {
+            // Lost the race against a cancelled prefix; put it back.
+            queue_.push(ev);
+            break;
+        }
+        now_ = ev.at;
+        ev.fn();
+    }
+    now_ = std::max(now_, deadline);
+}
+
+}  // namespace newtop

@@ -1,0 +1,30 @@
+// Simulated time.
+//
+// All timestamps and durations in the simulation are integral microseconds.
+// Integral time keeps event ordering exact and results bit-reproducible
+// across platforms (no floating-point accumulation drift).
+#pragma once
+
+#include <cstdint>
+
+namespace newtop {
+
+/// A point in simulated time, in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using SimDuration = std::int64_t;
+
+namespace sim_literals {
+constexpr SimDuration operator""_us(unsigned long long v) { return static_cast<SimDuration>(v); }
+constexpr SimDuration operator""_ms(unsigned long long v) { return static_cast<SimDuration>(v) * 1000; }
+constexpr SimDuration operator""_s(unsigned long long v) { return static_cast<SimDuration>(v) * 1000000; }
+}  // namespace sim_literals
+
+/// Convert a simulated duration to fractional milliseconds (for reporting).
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+
+/// Convert a simulated duration to fractional seconds (for reporting).
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace newtop

@@ -1,0 +1,11 @@
+// Byte-buffer alias used for everything that crosses the simulated wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace newtop {
+
+using Bytes = std::vector<std::uint8_t>;
+
+}  // namespace newtop

@@ -1,0 +1,48 @@
+// Precondition / invariant checking helpers.
+//
+// The library throws on contract violations rather than aborting: protocol
+// state machines are exercised heavily by property tests that need to
+// observe failures, and callers of the public API get a catchable,
+// descriptive error instead of a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace newtop {
+
+/// Thrown when a caller violates an API precondition.
+class PreconditionError : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug or
+/// corrupted input, e.g. a malformed message off the wire).
+class InvariantError : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* expr, const char* what) {
+    throw PreconditionError(std::string("precondition failed: ") + expr + ": " + what);
+}
+[[noreturn]] inline void fail_invariant(const char* expr, const char* what) {
+    throw InvariantError(std::string("invariant failed: ") + expr + ": " + what);
+}
+}  // namespace detail
+
+}  // namespace newtop
+
+/// Check a caller-facing precondition; throws PreconditionError on failure.
+#define NEWTOP_EXPECTS(expr, what)                                  \
+    do {                                                            \
+        if (!(expr)) ::newtop::detail::fail_precondition(#expr, what); \
+    } while (false)
+
+/// Check an internal invariant; throws InvariantError on failure.
+#define NEWTOP_ENSURES(expr, what)                                \
+    do {                                                          \
+        if (!(expr)) ::newtop::detail::fail_invariant(#expr, what); \
+    } while (false)

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace newtop {
+
+namespace {
+
+LogLevel level_from_env() {
+    const char* env = std::getenv("NEWTOP_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kOff;
+    const std::string value(env);
+    if (value == "trace") return LogLevel::kTrace;
+    if (value == "debug") return LogLevel::kDebug;
+    if (value == "info") return LogLevel::kInfo;
+    if (value == "warn") return LogLevel::kWarn;
+    if (value == "error") return LogLevel::kError;
+    return LogLevel::kOff;
+}
+
+LogLevel g_level = level_from_env();
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+    g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+    if (g_sink) {
+        g_sink(level, message);
+    } else {
+        std::cerr << "[" << level_name(level) << "] " << message << '\n';
+    }
+}
+
+}  // namespace newtop

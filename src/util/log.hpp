@@ -1,0 +1,44 @@
+// Minimal leveled logging.
+//
+// The simulator is deterministic, so logs are primarily a debugging aid for
+// protocol traces; they are off by default and routed through a single sink
+// so tests can capture them.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace newtop {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.  Not thread-safe by design: the whole
+/// library runs single-threaded inside the discrete-event simulation.
+class Log {
+public:
+    static LogLevel level();
+    static void set_level(LogLevel level);
+
+    /// Replace the sink (default writes to stderr).  Pass nullptr to restore
+    /// the default.
+    static void set_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+    static void write(LogLevel level, const std::string& message);
+};
+
+}  // namespace newtop
+
+#define NEWTOP_LOG(lvl, expr)                                            \
+    do {                                                                 \
+        if (static_cast<int>(lvl) >= static_cast<int>(::newtop::Log::level())) { \
+            std::ostringstream newtop_log_os;                            \
+            newtop_log_os << expr;                                       \
+            ::newtop::Log::write(lvl, newtop_log_os.str());              \
+        }                                                                \
+    } while (false)
+
+#define NEWTOP_TRACE(expr) NEWTOP_LOG(::newtop::LogLevel::kTrace, expr)
+#define NEWTOP_DEBUG(expr) NEWTOP_LOG(::newtop::LogLevel::kDebug, expr)
+#define NEWTOP_INFO(expr) NEWTOP_LOG(::newtop::LogLevel::kInfo, expr)
+#define NEWTOP_WARN(expr) NEWTOP_LOG(::newtop::LogLevel::kWarn, expr)

@@ -1,0 +1,65 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace newtop {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    for (auto& s : state_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::next_double() {
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+    NEWTOP_EXPECTS(lo <= hi, "empty range");
+    const std::uint64_t span = hi - lo;
+    if (span == ~0ULL) return next_u64();
+    // Modulo is fine here: simulation randomness does not need to be
+    // bias-free to the last ulp.
+    return lo + next_u64() % (span + 1);
+}
+
+std::int64_t Rng::next_in_signed(std::int64_t lo, std::int64_t hi) {
+    NEWTOP_EXPECTS(lo <= hi, "empty range");
+    const auto span = static_cast<std::uint64_t>(hi - lo);
+    return lo + static_cast<std::int64_t>(span == ~0ULL ? next_u64() : next_u64() % (span + 1));
+}
+
+bool Rng::next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace newtop

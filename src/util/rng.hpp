@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the simulator (link jitter, message loss, workload
+// think times) flows through one seeded generator so every experiment and
+// every property test is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace newtop {
+
+/// xoshiro256** seeded via splitmix64.  Small, fast, and good enough for
+/// simulation; deliberately not cryptographic.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed);
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+    std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+    /// Uniform signed integer in [lo, hi] inclusive.  Requires lo <= hi.
+    std::int64_t next_in_signed(std::int64_t lo, std::int64_t hi);
+
+    /// True with probability `p` (clamped to [0, 1]).
+    bool next_bool(double p);
+
+    /// A fresh generator whose seed derives from this one's stream; useful
+    /// for giving each simulated component an independent stream.
+    Rng split();
+
+private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace newtop

@@ -1,0 +1,49 @@
+// Strongly-typed integral identifiers.
+//
+// Distributed-systems code juggles many kinds of small integer ids (nodes,
+// sites, groups, views, calls...).  Using a distinct C++ type per id kind
+// makes interfaces self-describing and turns accidental mix-ups into
+// compile errors (C++ Core Guidelines I.4: make interfaces precisely and
+// strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace newtop {
+
+/// A strongly-typed wrapper over an unsigned integer.
+///
+/// `Tag` is a phantom type distinguishing id kinds; `Rep` is the underlying
+/// representation.  Ids are regular (copyable, totally ordered, hashable)
+/// so they can key standard containers.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+public:
+    using rep_type = Rep;
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(Rep value) : value_(value) {}
+
+    [[nodiscard]] constexpr Rep value() const { return value_; }
+
+    friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+    friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+        return os << id.value_;
+    }
+
+private:
+    Rep value_{0};
+};
+
+}  // namespace newtop
+
+template <typename Tag, typename Rep>
+struct std::hash<newtop::StrongId<Tag, Rep>> {
+    std::size_t operator()(newtop::StrongId<Tag, Rep> id) const noexcept {
+        return std::hash<Rep>{}(id.value());
+    }
+};

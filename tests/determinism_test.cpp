@@ -1,0 +1,213 @@
+// Determinism and API-edge tests.
+//
+// The whole simulation is designed to be bit-reproducible from its seed —
+// that is what makes the benchmark tables in EXPERIMENTS.md stable and
+// failures replayable.  These tests run full scenarios twice and require
+// identical histories, and pin down the public API's edge behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/calibration.hpp"
+#include "newtop/newtop_service.hpp"
+#include "util/check.hpp"
+
+namespace newtop {
+namespace {
+
+using namespace sim_literals;
+
+constexpr std::uint32_t kEcho = 1;
+
+class EchoServant : public GroupServant {
+public:
+    Bytes handle(std::uint32_t, const Bytes& args) override { return args; }
+};
+
+/// Runs a small mixed scenario (request/reply + peer traffic + a crash) and
+/// returns a full history fingerprint.
+std::string run_scenario(std::uint64_t seed) {
+    auto sites = calibration::make_paper_topology();
+    Scheduler scheduler;
+    Network net(scheduler, std::move(sites.topology), seed);
+    Directory directory;
+
+    std::vector<std::unique_ptr<Orb>> orbs;
+    std::vector<std::unique_ptr<NewTopService>> nsos;
+    auto add = [&](SiteId site) -> NewTopService& {
+        orbs.push_back(std::make_unique<Orb>(net, net.add_node(site)));
+        nsos.push_back(std::make_unique<NewTopService>(*orbs.back(), directory));
+        return *nsos.back();
+    };
+
+    std::ostringstream history;
+
+    // Three servers + a WAN client.
+    GroupConfig cfg;
+    cfg.order = OrderMode::kTotalAsymmetric;
+    cfg.liveness = LivenessMode::kLively;
+    for (int i = 0; i < 3; ++i) {
+        add(sites.newcastle).serve("svc", cfg,
+                                   std::make_shared<EchoServant>());
+        scheduler.run_until(scheduler.now() + 300_ms);
+    }
+    NewTopService& client = add(sites.pisa);
+    GroupProxy proxy = client.bind("svc", {.mode = BindMode::kOpen, .restricted = true});
+
+    // A peer group alongside.
+    GroupConfig peer_cfg;
+    peer_cfg.order = OrderMode::kTotalSymmetric;
+    peer_cfg.liveness = LivenessMode::kLively;
+    NewTopService& peer1 = add(sites.london);
+    NewTopService& peer2 = add(sites.pisa);
+    PeerGroup room1 = peer1.join_peer_group(
+        "room", peer_cfg, [&](const NewTopService::PeerMessage& m) {
+            history << "p1@" << scheduler.now() << ":"
+                    << std::string(m.payload.begin(), m.payload.end()) << "\n";
+        });
+    scheduler.run_until(scheduler.now() + 300_ms);
+    PeerGroup room2 = peer2.join_peer_group(
+        "room", peer_cfg, [&](const NewTopService::PeerMessage& m) {
+            history << "p2@" << scheduler.now() << ":"
+                    << std::string(m.payload.begin(), m.payload.end()) << "\n";
+        });
+    scheduler.run_until(scheduler.now() + 500_ms);
+
+    for (int k = 0; k < 5; ++k) {
+        const std::string text = "peer" + std::to_string(k);
+        (k % 2 == 0 ? room1 : room2).publish(Bytes(text.begin(), text.end()));
+        proxy.invoke(kEcho, encode_to_bytes(std::string("call" + std::to_string(k))),
+                     InvocationMode::kWaitAll, [&, k](const GroupReply& reply) {
+                         history << "call" << k << "@" << scheduler.now() << ":"
+                                 << reply.replies.size() << "\n";
+                     });
+        scheduler.run_until(scheduler.now() + 200_ms);
+    }
+    // Crash one server mid-run.
+    net.crash(orbs[1]->node_id());
+    proxy.invoke(kEcho, encode_to_bytes(std::string("post-crash")), InvocationMode::kWaitAll,
+                 [&](const GroupReply& reply) {
+                     history << "post@" << scheduler.now() << ":" << reply.replies.size()
+                             << "\n";
+                 });
+    scheduler.run_until(scheduler.now() + 10_s);
+
+    history << "msgs=" << net.stats().messages_sent << " bytes=" << net.stats().bytes_sent
+            << " t=" << scheduler.now();
+    return history.str();
+}
+
+TEST(Determinism, IdenticalSeedsProduceIdenticalHistories) {
+    const std::string a = run_scenario(2026);
+    const std::string b = run_scenario(2026);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+    // Jitter and loss draws differ, so message counts/timings should too.
+    const std::string a = run_scenario(1);
+    const std::string b = run_scenario(2);
+    EXPECT_NE(a, b);
+}
+
+// -- public API edges -----------------------------------------------------------------
+
+struct ApiEdges : ::testing::Test {
+    ApiEdges() : net(scheduler, calibration::make_lan_topology(), 3) {}
+
+    NewTopService& add() {
+        orbs.push_back(std::make_unique<Orb>(net, net.add_node(SiteId(0))));
+        nsos.push_back(std::make_unique<NewTopService>(*orbs.back(), directory));
+        return *nsos.back();
+    }
+
+    Scheduler scheduler;
+    Network net;
+    Directory directory;
+    std::vector<std::unique_ptr<Orb>> orbs;
+    std::vector<std::unique_ptr<NewTopService>> nsos;
+};
+
+TEST_F(ApiEdges, EmptyProxyRejectsCalls) {
+    GroupProxy empty;
+    EXPECT_THROW(empty.invoke(1, {}, InvocationMode::kWaitFirst, [](const GroupReply&) {}),
+                 PreconditionError);
+    EXPECT_THROW(empty.one_way(1, {}), PreconditionError);
+    EXPECT_FALSE(empty.ready());
+    EXPECT_EQ(empty.manager(), std::nullopt);
+}
+
+TEST_F(ApiEdges, TwoWayInvokeRequiresHandler) {
+    NewTopService& server = add();
+    server.serve("svc", GroupConfig{}, std::make_shared<EchoServant>());
+    NewTopService& client = add();
+    GroupProxy proxy = client.bind("svc", {});
+    EXPECT_THROW(proxy.invoke(1, {}, InvocationMode::kWaitAll, nullptr), PreconditionError);
+}
+
+TEST_F(ApiEdges, ServeTwiceRejected) {
+    NewTopService& server = add();
+    server.serve("svc", GroupConfig{}, std::make_shared<EchoServant>());
+    EXPECT_THROW(server.serve("svc", GroupConfig{}, std::make_shared<EchoServant>()),
+                 PreconditionError);
+}
+
+TEST_F(ApiEdges, ServeNullServantRejected) {
+    NewTopService& server = add();
+    EXPECT_THROW(server.serve("svc", GroupConfig{}, nullptr), PreconditionError);
+}
+
+TEST_F(ApiEdges, AsyncForwardingRequiresRestricted) {
+    NewTopService& server = add();
+    server.serve("svc", GroupConfig{}, std::make_shared<EchoServant>());
+    NewTopService& client = add();
+    EXPECT_THROW(client.bind("svc", {.restricted = false, .async_forwarding = true}),
+                 PreconditionError);
+}
+
+TEST_F(ApiEdges, BindGroupRequiresMembership) {
+    NewTopService& server = add();
+    server.serve("svc", GroupConfig{}, std::make_shared<EchoServant>());
+    NewTopService& outsider = add();
+    EXPECT_THROW(outsider.bind_group(GroupId(999), "svc"), PreconditionError);
+}
+
+TEST_F(ApiEdges, PeerGroupRequiresHandler) {
+    NewTopService& peer = add();
+    EXPECT_THROW(peer.join_peer_group("room", GroupConfig{}, nullptr), PreconditionError);
+}
+
+TEST_F(ApiEdges, UnbindIsIdempotentAndStopsFurtherCalls) {
+    NewTopService& server = add();
+    server.serve("svc", GroupConfig{}, std::make_shared<EchoServant>());
+    NewTopService& client = add();
+    GroupProxy proxy = client.bind("svc", {});
+    scheduler.run_until(scheduler.now() + 2'000'000);
+    ASSERT_TRUE(proxy.ready());
+    proxy.unbind();
+    proxy.unbind();  // harmless
+    EXPECT_FALSE(proxy.ready());
+}
+
+TEST_F(ApiEdges, InvokeAfterAllServersGoneCompletesIncomplete) {
+    NewTopService& server = add();
+    server.serve("svc", GroupConfig{}, std::make_shared<EchoServant>());
+    NewTopService& client = add();
+    GroupProxy proxy = client.bind("svc", {.call_timeout = 500'000});
+    net.crash(orbs[0]->node_id());
+    bool done = false;
+    GroupReply result;
+    proxy.invoke(1, {}, InvocationMode::kWaitAll, [&](const GroupReply& reply) {
+        result = reply;
+        done = true;
+    });
+    scheduler.run_until(scheduler.now() + 30'000'000);
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(result.complete);
+}
+
+}  // namespace
+}  // namespace newtop

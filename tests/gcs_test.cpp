@@ -1,0 +1,568 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs/endpoint.hpp"
+#include "net/calibration.hpp"
+#include "util/check.hpp"
+
+namespace newtop {
+namespace {
+
+using namespace sim_literals;
+
+Bytes payload_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+std::string to_string(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+/// A small simulated world of endpoints for GCS integration tests.
+struct GcsWorld {
+    struct Logged {
+        GroupId group;
+        EndpointId sender;
+        std::string payload;
+    };
+
+    explicit GcsWorld(Topology topology, std::uint64_t seed = 7)
+        : net(scheduler, std::move(topology), seed) {}
+
+    std::size_t add_endpoint(SiteId site) {
+        const NodeId node = net.add_node(site);
+        orbs.push_back(std::make_unique<Orb>(net, node));
+        auto ep = std::make_unique<GroupCommEndpoint>(*orbs.back(), directory);
+        const std::size_t index = endpoints.size();
+        delivered.emplace_back();
+        views.emplace_back();
+        removed.emplace_back();
+        ep->set_deliver_handler([this, index](const GroupCommEndpoint::Delivery& d) {
+            delivered[index].push_back(Logged{d.group, d.sender, to_string(d.payload)});
+        });
+        ep->set_view_handler([this, index](const GroupCommEndpoint::ViewChangeEvent& event) {
+            views[index].push_back(event.view);
+        });
+        ep->set_removed_handler([this, index](GroupId g) { removed[index].push_back(g); });
+        endpoints.push_back(std::move(ep));
+        return index;
+    }
+
+    GroupCommEndpoint& ep(std::size_t i) { return *endpoints[i]; }
+
+    void run_for(SimDuration d) { scheduler.run_until(scheduler.now() + d); }
+
+    /// Payload strings delivered at endpoint i for a group, in order.
+    std::vector<std::string> log_of(std::size_t i, GroupId g) const {
+        std::vector<std::string> out;
+        for (const auto& entry : delivered[i]) {
+            if (entry.group == g) out.push_back(entry.payload);
+        }
+        return out;
+    }
+
+    Scheduler scheduler;
+    Network net;
+    Directory directory;
+    std::vector<std::unique_ptr<Orb>> orbs;
+    std::vector<std::unique_ptr<GroupCommEndpoint>> endpoints;
+    std::vector<std::vector<Logged>> delivered;
+    std::vector<std::vector<View>> views;
+    std::vector<std::vector<GroupId>> removed;
+};
+
+GroupConfig config_for(OrderMode order, LivenessMode liveness = LivenessMode::kEventDriven) {
+    GroupConfig cfg;
+    cfg.order = order;
+    cfg.liveness = liveness;
+    return cfg;
+}
+
+struct LanGcs : ::testing::Test {
+    LanGcs() : world(calibration::make_lan_topology()) {}
+    GcsWorld world;
+};
+
+// -- group lifecycle -----------------------------------------------------------
+
+TEST_F(LanGcs, CreateInstallsSingletonView) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    ASSERT_TRUE(world.ep(a).is_member(g));
+    const View* view = world.ep(a).current_view(g);
+    ASSERT_NE(view, nullptr);
+    EXPECT_EQ(view->epoch, 1u);
+    EXPECT_EQ(view->members, std::vector<EndpointId>{world.ep(a).id()});
+    ASSERT_EQ(world.views[a].size(), 1u);
+}
+
+TEST_F(LanGcs, DuplicateGroupNameRejected) {
+    const auto a = world.add_endpoint(SiteId(0));
+    world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    EXPECT_THROW(world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric)),
+                 PreconditionError);
+}
+
+TEST_F(LanGcs, JoinYieldsCommonView) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    ASSERT_TRUE(world.ep(b).is_member(g));
+    const View* va = world.ep(a).current_view(g);
+    const View* vb = world.ep(b).current_view(g);
+    ASSERT_NE(va, nullptr);
+    ASSERT_NE(vb, nullptr);
+    EXPECT_EQ(*va, *vb);
+    EXPECT_EQ(va->members.size(), 2u);
+}
+
+TEST_F(LanGcs, ThreeMembersJoinSequentially) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const auto c = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    world.ep(c).join_group("g");
+    world.run_for(100_ms);
+    for (auto i : {a, b, c}) {
+        ASSERT_TRUE(world.ep(i).is_member(g)) << "endpoint " << i;
+        EXPECT_EQ(world.ep(i).current_view(g)->members.size(), 3u);
+    }
+}
+
+TEST_F(LanGcs, ConcurrentJoinsConverge) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const auto c = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    world.ep(b).join_group("g");
+    world.ep(c).join_group("g");
+    world.run_for(2_s);
+    for (auto i : {a, b, c}) {
+        ASSERT_TRUE(world.ep(i).is_member(g));
+        EXPECT_EQ(world.ep(i).current_view(g)->members.size(), 3u);
+    }
+}
+
+TEST_F(LanGcs, LeaveRemovesMemberAndNotifies) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    world.ep(b).leave_group(g);
+    world.run_for(500_ms);
+    EXPECT_FALSE(world.ep(b).knows_group(g));
+    EXPECT_EQ(world.removed[b], std::vector<GroupId>{g});
+    ASSERT_TRUE(world.ep(a).is_member(g));
+    EXPECT_EQ(world.ep(a).current_view(g)->members.size(), 1u);
+}
+
+TEST_F(LanGcs, LastMemberLeavingDisbands) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    world.ep(a).leave_group(g);
+    EXPECT_FALSE(world.ep(a).knows_group(g));
+    EXPECT_EQ(world.removed[a], std::vector<GroupId>{g});
+}
+
+TEST_F(LanGcs, JoinUnknownGroupThrows) {
+    const auto a = world.add_endpoint(SiteId(0));
+    EXPECT_THROW(world.ep(a).join_group("nope"), PreconditionError);
+}
+
+// -- ordered multicast ----------------------------------------------------------
+
+struct OrderedGroup : LanGcs, ::testing::WithParamInterface<OrderMode> {
+    GroupId make_group(std::size_t n_members) {
+        indices.clear();
+        for (std::size_t i = 0; i < n_members; ++i) indices.push_back(world.add_endpoint(SiteId(0)));
+        group = world.ep(indices[0]).create_group("g", config_for(GetParam()));
+        for (std::size_t i = 1; i < n_members; ++i) {
+            world.ep(indices[i]).join_group("g");
+            world.run_for(100_ms);
+        }
+        return group;
+    }
+
+    std::vector<std::size_t> indices;
+    GroupId group;
+};
+
+TEST_P(OrderedGroup, SingleMulticastReachesAll) {
+    make_group(3);
+    world.ep(indices[0]).multicast(group, payload_of("hello"));
+    world.run_for(200_ms);
+    for (auto i : indices) {
+        EXPECT_EQ(world.log_of(i, group), std::vector<std::string>{"hello"})
+            << "at endpoint " << i;
+    }
+}
+
+TEST_P(OrderedGroup, ConcurrentMulticastsDeliverInIdenticalOrder) {
+    make_group(4);
+    for (std::size_t round = 0; round < 5; ++round) {
+        for (auto i : indices) {
+            world.ep(i).multicast(group,
+                                  payload_of("m" + std::to_string(i) + "." + std::to_string(round)));
+        }
+    }
+    world.run_for(2_s);
+    const auto reference = world.log_of(indices[0], group);
+    EXPECT_EQ(reference.size(), 20u);
+    for (auto i : indices) {
+        EXPECT_EQ(world.log_of(i, group), reference) << "at endpoint " << i;
+    }
+}
+
+TEST_P(OrderedGroup, SenderFifoPreserved) {
+    make_group(3);
+    for (int k = 0; k < 10; ++k) {
+        world.ep(indices[1]).multicast(group, payload_of("s" + std::to_string(k)));
+    }
+    world.run_for(1_s);
+    const auto log = world.log_of(indices[2], group);
+    ASSERT_EQ(log.size(), 10u);
+    for (int k = 0; k < 10; ++k) EXPECT_EQ(log[static_cast<std::size_t>(k)], "s" + std::to_string(k));
+}
+
+TEST_P(OrderedGroup, SurvivesMessageLoss) {
+    // 10% loss: NACK-based retransmission must still deliver everything,
+    // in the same order everywhere.
+    Topology lossy;
+    lossy.add_site("LAN", LinkParams{.latency = 250, .jitter = 30, .loss = 0.10,
+                                     .bytes_per_us = 12.5});
+    GcsWorld w(std::move(lossy), 21);
+    std::vector<std::size_t> members;
+    for (int i = 0; i < 3; ++i) members.push_back(w.add_endpoint(SiteId(0)));
+    const GroupId g = w.ep(members[0]).create_group("g", config_for(GetParam()));
+    for (std::size_t i = 1; i < members.size(); ++i) {
+        w.ep(members[i]).join_group("g");
+        // Lost join/propose/install messages are healed by retries and
+        // view-change timeouts; give them room.
+        w.run_for(3_s);
+    }
+    for (auto i : members) ASSERT_TRUE(w.ep(i).is_member(g));
+    for (int k = 0; k < 10; ++k) {
+        for (auto i : members) w.ep(i).multicast(g, payload_of(std::to_string(i) + ":" + std::to_string(k)));
+        w.run_for(50_ms);
+    }
+    w.run_for(3_s);
+    const auto reference = w.log_of(members[0], g);
+    EXPECT_EQ(reference.size(), 30u);
+    for (auto i : members) EXPECT_EQ(w.log_of(i, g), reference) << "at endpoint " << i;
+}
+
+TEST_P(OrderedGroup, CrashedMemberIsEjectedAndTrafficContinues) {
+    make_group(3);
+    world.ep(indices[0]).multicast(group, payload_of("before"));
+    world.run_for(200_ms);
+    // Crash the last-ranked member (not the sequencer).
+    world.net.crash(world.orbs[indices[2]]->node_id());
+    world.ep(indices[0]).multicast(group, payload_of("during"));
+    world.run_for(2_s);
+    for (auto i : {indices[0], indices[1]}) {
+        ASSERT_TRUE(world.ep(i).is_member(group));
+        EXPECT_EQ(world.ep(i).current_view(group)->members.size(), 2u) << "at " << i;
+    }
+    world.ep(indices[1]).multicast(group, payload_of("after"));
+    world.run_for(1_s);
+    for (auto i : {indices[0], indices[1]}) {
+        EXPECT_EQ(world.log_of(i, group),
+                  (std::vector<std::string>{"before", "during", "after"}))
+            << "at " << i;
+    }
+}
+
+TEST_P(OrderedGroup, LeaderCrashIsRecovered) {
+    // Crashing the first-ranked member kills both the membership coordinator
+    // and (in asymmetric mode) the sequencer; the survivors must agree on a
+    // new view and keep ordering.
+    make_group(3);
+    world.run_for(100_ms);
+    // Lowest endpoint id belongs to the creator (registered first).
+    world.net.crash(world.orbs[indices[0]]->node_id());
+    world.ep(indices[1]).multicast(group, payload_of("x"));
+    world.ep(indices[2]).multicast(group, payload_of("y"));
+    world.run_for(3_s);
+    for (auto i : {indices[1], indices[2]}) {
+        ASSERT_TRUE(world.ep(i).is_member(group)) << "at " << i;
+        EXPECT_EQ(world.ep(i).current_view(group)->members.size(), 2u);
+    }
+    const auto reference = world.log_of(indices[1], group);
+    EXPECT_EQ(reference.size(), 2u);
+    EXPECT_EQ(world.log_of(indices[2], group), reference);
+}
+
+TEST_P(OrderedGroup, VirtualSynchronySameDeliveriesAcrossViewChange) {
+    make_group(4);
+    // Fire a burst and crash a member mid-burst.
+    for (int k = 0; k < 8; ++k) {
+        for (auto i : indices) world.ep(i).multicast(group, payload_of(std::to_string(i) + "#" + std::to_string(k)));
+    }
+    world.scheduler.schedule_after(1_ms, [&] {
+        world.net.crash(world.orbs[indices[3]]->node_id());
+    });
+    world.run_for(4_s);
+    const auto reference = world.log_of(indices[0], group);
+    for (auto i : {indices[1], indices[2]}) {
+        EXPECT_EQ(world.log_of(i, group), reference) << "at " << i;
+    }
+    // Survivors' own messages must all have been delivered (atomicity +
+    // resubmission); the crashed member's messages may or may not appear,
+    // but identically everywhere.
+    for (auto sender : {indices[0], indices[1], indices[2]}) {
+        for (int k = 0; k < 8; ++k) {
+            const std::string want = std::to_string(sender) + "#" + std::to_string(k);
+            EXPECT_NE(std::find(reference.begin(), reference.end(), want), reference.end())
+                << "missing " << want;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, OrderedGroup,
+                         ::testing::Values(OrderMode::kTotalSymmetric,
+                                           OrderMode::kTotalAsymmetric),
+                         [](const auto& info) {
+                             return info.param == OrderMode::kTotalSymmetric ? "Symmetric"
+                                                                             : "Asymmetric";
+                         });
+
+// -- causal mode -------------------------------------------------------------------
+
+TEST_F(LanGcs, CausalModeDeliversCausallyRelatedInOrder) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const auto c = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kCausal));
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    world.ep(c).join_group("g");
+    world.run_for(100_ms);
+
+    // b replies to a's message: everyone must see "ask" before "answer".
+    world.ep(b).set_deliver_handler([&](const GroupCommEndpoint::Delivery& d) {
+        world.delivered[b].push_back({d.group, d.sender, to_string(d.payload)});
+        if (to_string(d.payload) == "ask") world.ep(b).multicast(g, payload_of("answer"));
+    });
+    world.ep(a).multicast(g, payload_of("ask"));
+    world.run_for(1_s);
+    for (auto i : {a, b, c}) {
+        EXPECT_EQ(world.log_of(i, g), (std::vector<std::string>{"ask", "answer"})) << "at " << i;
+    }
+}
+
+// -- overlapping groups (the fig. 7 property) -----------------------------------------
+
+TEST_F(LanGcs, MemberCanBelongToManyGroupsSimultaneously) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const GroupId g1 = world.ep(a).create_group("g1", config_for(OrderMode::kTotalSymmetric));
+    const GroupId g2 = world.ep(a).create_group("g2", config_for(OrderMode::kTotalAsymmetric));
+    world.ep(b).join_group("g1");
+    world.ep(b).join_group("g2");
+    world.run_for(200_ms);
+    ASSERT_TRUE(world.ep(b).is_member(g1));
+    ASSERT_TRUE(world.ep(b).is_member(g2));
+    world.ep(a).multicast(g1, payload_of("one"));
+    world.ep(a).multicast(g2, payload_of("two"));
+    world.run_for(500_ms);
+    EXPECT_EQ(world.log_of(b, g1), std::vector<std::string>{"one"});
+    EXPECT_EQ(world.log_of(b, g2), std::vector<std::string>{"two"});
+}
+
+TEST(GcsOverlap, CrossGroupCausalityPreserved) {
+    // Fig. 7 of the paper: gx = {A, B}; B also in gw with RM; A also in gz
+    // with RM.  B sends m1 in gw, then m2 in gx; A, on delivering m2, sends
+    // m3 in gz.  RM must deliver m1 before m3 even though the direct path
+    // B->RM is far slower than B->A->RM.
+    Topology t;
+    const SiteId sa = t.add_site("A", LinkParams{.latency = 300});
+    const SiteId sb = t.add_site("B", LinkParams{.latency = 300});
+    const SiteId sr = t.add_site("RM", LinkParams{.latency = 300});
+    t.set_link(sa, sb, LinkParams{.latency = 500});
+    t.set_link(sa, sr, LinkParams{.latency = 500});
+    t.set_link(sb, sr, LinkParams{.latency = 40'000});  // B -> RM is slow
+    GcsWorld world(std::move(t));
+
+    const auto a = world.add_endpoint(sa);
+    const auto b = world.add_endpoint(sb);
+    const auto rm = world.add_endpoint(sr);
+
+    const GroupId gx = world.ep(a).create_group("gx", config_for(OrderMode::kTotalSymmetric));
+    const GroupId gw = world.ep(b).create_group("gw", config_for(OrderMode::kTotalSymmetric));
+    const GroupId gz = world.ep(a).create_group("gz", config_for(OrderMode::kTotalSymmetric));
+    world.ep(b).join_group("gx");
+    world.ep(rm).join_group("gw");
+    world.ep(rm).join_group("gz");
+    world.run_for(500_ms);
+    ASSERT_TRUE(world.ep(b).is_member(gx));
+    ASSERT_TRUE(world.ep(rm).is_member(gw));
+    ASSERT_TRUE(world.ep(rm).is_member(gz));
+
+    // A reacts to m2 by issuing m3.
+    world.ep(a).set_deliver_handler([&](const GroupCommEndpoint::Delivery& d) {
+        world.delivered[a].push_back({d.group, d.sender, to_string(d.payload)});
+        if (to_string(d.payload) == "m2") world.ep(a).multicast(gz, payload_of("m3"));
+    });
+
+    world.ep(b).multicast(gw, payload_of("m1"));
+    world.ep(b).multicast(gx, payload_of("m2"));
+    world.run_for(2_s);
+
+    // RM got both calls; causality says m1 first.
+    std::vector<std::string> rm_order;
+    for (const auto& entry : world.delivered[rm]) rm_order.push_back(entry.payload);
+    ASSERT_EQ(rm_order.size(), 2u);
+    EXPECT_EQ(rm_order[0], "m1");
+    EXPECT_EQ(rm_order[1], "m3");
+}
+
+// -- partitions -------------------------------------------------------------------
+
+TEST(GcsPartition, PartitionedSidesFormDisjointViews) {
+    auto sites = calibration::make_paper_topology();
+    GcsWorld world(std::move(sites.topology));
+    const auto a0 = world.add_endpoint(sites.newcastle);
+    const auto a1 = world.add_endpoint(sites.newcastle);
+    const auto b0 = world.add_endpoint(sites.london);
+    const auto b1 = world.add_endpoint(sites.london);
+
+    GroupConfig cfg = config_for(OrderMode::kTotalSymmetric, LivenessMode::kLively);
+    const GroupId g = world.ep(a0).create_group("g", cfg);
+    for (auto i : {a1, b0, b1}) {
+        world.ep(i).join_group("g");
+        world.run_for(300_ms);
+    }
+    for (auto i : {a0, a1, b0, b1}) ASSERT_TRUE(world.ep(i).is_member(g));
+
+    world.net.partition_site(sites.london, 1);
+    world.run_for(5_s);
+
+    // Each side keeps going with its own view (partitionable model).
+    for (auto i : {a0, a1}) {
+        ASSERT_TRUE(world.ep(i).is_member(g)) << "at " << i;
+        EXPECT_EQ(world.ep(i).current_view(g)->members,
+                  (std::vector<EndpointId>{world.ep(a0).id(), world.ep(a1).id()}));
+    }
+    for (auto i : {b0, b1}) {
+        ASSERT_TRUE(world.ep(i).is_member(g)) << "at " << i;
+        EXPECT_EQ(world.ep(i).current_view(g)->members,
+                  (std::vector<EndpointId>{world.ep(b0).id(), world.ep(b1).id()}));
+    }
+
+    // Both partitions can still multicast internally.
+    world.ep(a0).multicast(g, payload_of("north"));
+    world.ep(b0).multicast(g, payload_of("south"));
+    world.run_for(1_s);
+    EXPECT_EQ(world.log_of(a1, g).back(), "north");
+    EXPECT_EQ(world.log_of(b1, g).back(), "south");
+}
+
+// -- liveness ---------------------------------------------------------------------
+
+TEST_F(LanGcs, LivelyGroupHeartbeatsWhenIdle) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric, LivenessMode::kLively));
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    const GroupId g = world.ep(a).create_group("marker", config_for(OrderMode::kTotalSymmetric));
+    (void)g;
+    const auto before = world.net.stats().messages_sent;
+    world.run_for(1_s);
+    // Idle but lively: nulls keep flowing.
+    EXPECT_GT(world.net.stats().messages_sent, before + 10);
+}
+
+TEST_F(LanGcs, EventDrivenGroupGoesQuietAfterDelivery) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const GroupId g =
+        world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    world.ep(a).multicast(g, payload_of("x"));
+    world.run_for(2_s);  // delivery + stability tail
+    const auto quiet_start = world.net.stats().messages_sent;
+    world.run_for(2_s);
+    EXPECT_EQ(world.net.stats().messages_sent, quiet_start);
+    EXPECT_EQ(world.log_of(b, g), std::vector<std::string>{"x"});
+}
+
+TEST_F(LanGcs, StabilityPrunesUnstableStore) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kTotalSymmetric));
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    for (int k = 0; k < 20; ++k) world.ep(a).multicast(g, payload_of(std::to_string(k)));
+    world.run_for(3_s);
+    EXPECT_EQ(world.ep(a).group_stats(g).unstable, 0u);
+    EXPECT_EQ(world.ep(b).group_stats(g).unstable, 0u);
+}
+
+// -- wire format ---------------------------------------------------------------------
+
+TEST(GcsMessages, DataMsgRoundTrips) {
+    DataMsg m;
+    m.group = GroupId(3);
+    m.epoch = 7;
+    m.sender = EndpointId(9);
+    m.seq = 42;
+    m.ts = 1234;
+    m.kind = DataKind::kApplication;
+    m.knowledge = {{GroupId(1), 2, EndpointId(4), 5}};
+    m.payload = payload_of("payload");
+    m.received_counts = {{EndpointId(9), 43}};
+    m.causal_vc = {{EndpointId(1), 2}};
+    const GcsMessage out = decode_gcs_message(encode_gcs_message(m));
+    const auto* decoded = std::get_if<DataMsg>(&out);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->seq, 42u);
+    EXPECT_EQ(decoded->knowledge.size(), 1u);
+    EXPECT_EQ(decoded->knowledge[0].count, 5u);
+    EXPECT_EQ(to_string(decoded->payload), "payload");
+}
+
+TEST(GcsMessages, AllVariantsRoundTrip) {
+    const View view{GroupId(1), 3, {EndpointId(1), EndpointId(2)}};
+    const std::vector<GcsMessage> msgs{
+        NackMsg{GroupId(1), 2, EndpointId(3), {4, 5}},
+        OrderMsg{GroupId(1), 2, 7, {MsgRef{EndpointId(1), 0}}},
+        JoinReq{GroupId(1), EndpointId(5)},
+        LeaveReq{GroupId(1), EndpointId(6)},
+        SuspectMsg{GroupId(1), 2, EndpointId(1), {EndpointId(9)}},
+        ProposeMsg{GroupId(1), 2, 3, EndpointId(1), {EndpointId(1), EndpointId(2)}},
+        FlushMsg{GroupId(1), 3, EndpointId(1), EndpointId(2), {}, {}},
+        InstallMsg{GroupId(1), view, EndpointId(1), {}, {}},
+    };
+    for (const auto& msg : msgs) {
+        const GcsMessage out = decode_gcs_message(encode_gcs_message(msg));
+        EXPECT_EQ(out.index(), msg.index());
+    }
+}
+
+TEST(GcsMessages, GarbageRejected) {
+    EXPECT_THROW(decode_gcs_message(Bytes{99}), DecodeError);
+    EXPECT_THROW(decode_gcs_message(Bytes{}), DecodeError);
+}
+
+TEST(GcsView, RankAndLeader) {
+    View v{GroupId(1), 1, {EndpointId(3), EndpointId(5), EndpointId(9)}};
+    EXPECT_EQ(v.leader(), EndpointId(3));
+    EXPECT_EQ(v.rank_of(EndpointId(5)), 1u);
+    EXPECT_EQ(v.rank_of(EndpointId(4)), std::nullopt);
+    EXPECT_TRUE(v.contains(EndpointId(9)));
+    EXPECT_FALSE(v.contains(EndpointId(2)));
+}
+
+TEST(GcsView, UnsortedWireViewRejected) {
+    View v{GroupId(1), 1, {EndpointId(5), EndpointId(3)}};
+    EXPECT_THROW(decode_from_bytes<View>(encode_to_bytes(v)), DecodeError);
+}
+
+}  // namespace
+}  // namespace newtop

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/calibration.hpp"
+#include "orb/orb.hpp"
+#include "util/check.hpp"
+
+namespace newtop {
+namespace {
+
+using namespace sim_literals;
+
+constexpr std::uint32_t kEcho = 1;
+constexpr std::uint32_t kAdd = 2;
+constexpr std::uint32_t kBoom = 3;
+
+/// Test servant: echoes, adds, or throws.
+class TestServant : public Servant {
+public:
+    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+        ++calls;
+        switch (method) {
+            case kEcho: return args;
+            case kAdd: {
+                Decoder d(args);
+                const auto a = d.get_i64();
+                const auto b = d.get_i64();
+                return encode_to_bytes(a + b);
+            }
+            case kBoom: throw ServantError("kaboom");
+            default: throw ServantError("no such method");
+        }
+    }
+    int calls{0};
+};
+
+struct OrbFixture : ::testing::Test {
+    OrbFixture()
+        : net(scheduler, calibration::make_lan_topology(), 42),
+          client_node(net.add_node(SiteId(0))),
+          server_node(net.add_node(SiteId(0))),
+          client(net, client_node),
+          server(net, server_node),
+          servant(std::make_shared<TestServant>()),
+          target(server.adapter().activate(servant, "Test")) {}
+
+    Scheduler scheduler;
+    Network net;
+    NodeId client_node;
+    NodeId server_node;
+    Orb client;
+    Orb server;
+    std::shared_ptr<TestServant> servant;
+    Ior target;
+};
+
+TEST_F(OrbFixture, RoundTripEcho) {
+    Bytes got;
+    ReplyStatus status{};
+    client.invoke(target, kEcho, encode_to_bytes(std::string("ping")),
+                  [&](ReplyStatus s, const Bytes& payload) {
+                      status = s;
+                      got = payload;
+                  });
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kOk);
+    EXPECT_EQ(decode_from_bytes<std::string>(got), "ping");
+    EXPECT_EQ(servant->calls, 1);
+}
+
+TEST_F(OrbFixture, TypedAddCall) {
+    Encoder e;
+    e.put_i64(40);
+    e.put_i64(2);
+    std::int64_t result = 0;
+    client.invoke(target, kAdd, std::move(e).take(), [&](ReplyStatus s, const Bytes& payload) {
+        ASSERT_EQ(s, ReplyStatus::kOk);
+        result = decode_from_bytes<std::int64_t>(payload);
+    });
+    scheduler.run();
+    EXPECT_EQ(result, 42);
+}
+
+TEST_F(OrbFixture, LanRoundTripLatencyMatchesPaperAnchor) {
+    // The paper's anchor: a plain CORBA call on the LAN is about 1 ms.
+    SimTime completed = -1;
+    client.invoke(target, kEcho, Bytes{}, [&](ReplyStatus, const Bytes&) {
+        completed = scheduler.now();
+    });
+    scheduler.run();
+    EXPECT_GT(completed, 800);    // > 0.8 ms
+    EXPECT_LT(completed, 1500);   // < 1.5 ms
+}
+
+TEST_F(OrbFixture, ServantExceptionPropagates) {
+    ReplyStatus status{};
+    std::string message;
+    client.invoke(target, kBoom, Bytes{}, [&](ReplyStatus s, const Bytes& payload) {
+        status = s;
+        message = decode_from_bytes<std::string>(payload);
+    });
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kException);
+    EXPECT_EQ(message, "kaboom");
+}
+
+TEST_F(OrbFixture, UnknownObjectGivesNoObject) {
+    Ior bogus{server_node, ObjectKey(9999), "Test"};
+    ReplyStatus status{};
+    client.invoke(bogus, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) { status = s; });
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kNoObject);
+}
+
+TEST_F(OrbFixture, DeactivatedObjectGivesNoObject) {
+    server.adapter().deactivate(target.key);
+    ReplyStatus status{};
+    client.invoke(target, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) { status = s; });
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kNoObject);
+}
+
+TEST_F(OrbFixture, TimeoutFiresWhenServerCrashed) {
+    net.crash(server_node);
+    ReplyStatus status{};
+    SimTime at = -1;
+    client.invoke(target, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) {
+        status = s;
+        at = scheduler.now();
+    }, 10_ms);
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kTimeout);
+    EXPECT_EQ(at, 10_ms);
+}
+
+TEST_F(OrbFixture, HandlerRunsExactlyOnceWhenReplyBeatsTimeout) {
+    int completions = 0;
+    client.invoke(target, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) {
+        ++completions;
+        EXPECT_EQ(s, ReplyStatus::kOk);
+    }, 1_s);
+    scheduler.run();
+    EXPECT_EQ(completions, 1);
+}
+
+TEST_F(OrbFixture, CancelSuppressesHandler) {
+    bool ran = false;
+    const OrbCallId id =
+        client.invoke(target, kEcho, Bytes{}, [&](ReplyStatus, const Bytes&) { ran = true; });
+    client.cancel(id);
+    scheduler.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(servant->calls, 1);  // server still executed the request
+}
+
+TEST_F(OrbFixture, OnewayExecutesWithoutReply) {
+    client.invoke_oneway(target, kEcho, encode_to_bytes(std::string("fire")));
+    scheduler.run();
+    EXPECT_EQ(servant->calls, 1);
+}
+
+TEST_F(OrbFixture, OnewayServantExceptionIsSwallowed) {
+    client.invoke_oneway(target, kBoom, Bytes{});
+    EXPECT_NO_THROW(scheduler.run());
+    EXPECT_EQ(servant->calls, 1);
+}
+
+TEST_F(OrbFixture, ConcurrentCallsCorrelateIndependently) {
+    std::vector<std::int64_t> results(3, 0);
+    for (int i = 0; i < 3; ++i) {
+        Encoder e;
+        e.put_i64(i);
+        e.put_i64(100);
+        client.invoke(target, kAdd, std::move(e).take(),
+                      [&results, i](ReplyStatus s, const Bytes& payload) {
+                          ASSERT_EQ(s, ReplyStatus::kOk);
+                          results[static_cast<std::size_t>(i)] =
+                              decode_from_bytes<std::int64_t>(payload);
+                      });
+    }
+    scheduler.run();
+    EXPECT_EQ(results, (std::vector<std::int64_t>{100, 101, 102}));
+}
+
+TEST_F(OrbFixture, ServerCpuSerializesRequests) {
+    // Two concurrent clients: the second reply completes after the first
+    // by at least the servant execution time (single-CPU server).
+    const NodeId client2_node = net.add_node(SiteId(0));
+    Orb client2(net, client2_node);
+    SimTime done1 = -1, done2 = -1;
+    client.invoke(target, kEcho, Bytes{}, [&](ReplyStatus, const Bytes&) {
+        done1 = scheduler.now();
+    });
+    client2.invoke(target, kEcho, Bytes{}, [&](ReplyStatus, const Bytes&) {
+        done2 = scheduler.now();
+    });
+    scheduler.run();
+    ASSERT_GE(done1, 0);
+    ASSERT_GE(done2, 0);
+    EXPECT_NE(done1, done2);
+}
+
+TEST_F(OrbFixture, MalformedWireBytesAreDropped) {
+    net.send(client_node, server_node, Bytes{0x07, 0x01});  // unknown type
+    net.send(client_node, server_node, Bytes{});            // empty
+    EXPECT_NO_THROW(scheduler.run());
+}
+
+TEST_F(OrbFixture, InvokeRequiresHandler) {
+    EXPECT_THROW(client.invoke(target, kEcho, Bytes{}, nullptr), PreconditionError);
+}
+
+// -- IOGR (object group reference) failover ---------------------------------
+
+struct IogrFixture : OrbFixture {
+    IogrFixture()
+        : backup_node(net.add_node(SiteId(0))),
+          backup(net, backup_node),
+          backup_servant(std::make_shared<TestServant>()),
+          backup_ior(backup.adapter().activate(backup_servant, "Test")) {}
+
+    NodeId backup_node;
+    Orb backup;
+    std::shared_ptr<TestServant> backup_servant;
+    Ior backup_ior;
+};
+
+TEST_F(IogrFixture, PrimaryServesWhenHealthy) {
+    Iogr group{{target, backup_ior}, 0};
+    ReplyStatus status{};
+    client.invoke_group(group, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) { status = s; },
+                        20_ms);
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kOk);
+    EXPECT_EQ(servant->calls, 1);
+    EXPECT_EQ(backup_servant->calls, 0);
+}
+
+TEST_F(IogrFixture, FailsOverWhenPrimaryCrashed) {
+    net.crash(server_node);
+    Iogr group{{target, backup_ior}, 0};
+    ReplyStatus status{};
+    client.invoke_group(group, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) { status = s; },
+                        20_ms);
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kOk);
+    EXPECT_EQ(backup_servant->calls, 1);
+}
+
+TEST_F(IogrFixture, RespectsPrimaryIndex) {
+    Iogr group{{target, backup_ior}, 1};  // backup designated primary
+    client.invoke_group(group, kEcho, Bytes{}, [](ReplyStatus, const Bytes&) {}, 20_ms);
+    scheduler.run();
+    EXPECT_EQ(backup_servant->calls, 1);
+    EXPECT_EQ(servant->calls, 0);
+}
+
+TEST_F(IogrFixture, AllMembersDownReportsTimeout) {
+    net.crash(server_node);
+    net.crash(backup_node);
+    Iogr group{{target, backup_ior}, 0};
+    ReplyStatus status{};
+    client.invoke_group(group, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) { status = s; },
+                        20_ms);
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kTimeout);
+}
+
+TEST_F(IogrFixture, FailsOverOnMissingObjectToo) {
+    server.adapter().deactivate(target.key);
+    Iogr group{{target, backup_ior}, 0};
+    ReplyStatus status{};
+    client.invoke_group(group, kEcho, Bytes{}, [&](ReplyStatus s, const Bytes&) { status = s; },
+                        20_ms);
+    scheduler.run();
+    EXPECT_EQ(status, ReplyStatus::kOk);
+    EXPECT_EQ(backup_servant->calls, 1);
+}
+
+TEST_F(IogrFixture, EmptyGroupRejected) {
+    Iogr empty;
+    EXPECT_THROW(
+        client.invoke_group(empty, kEcho, Bytes{}, [](ReplyStatus, const Bytes&) {}, 20_ms),
+        PreconditionError);
+}
+
+TEST_F(IogrFixture, IogrRoundTripsThroughSerialization) {
+    Iogr group{{target, backup_ior}, 1};
+    const Iogr out = decode_from_bytes<Iogr>(encode_to_bytes(group));
+    EXPECT_EQ(out, group);
+}
+
+TEST_F(IogrFixture, MalformedIogrPrimaryIndexRejected) {
+    Iogr group{{target}, 5};
+    EXPECT_THROW(decode_from_bytes<Iogr>(encode_to_bytes(group)), DecodeError);
+}
+
+}  // namespace
+}  // namespace newtop

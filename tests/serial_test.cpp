@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serial/serial.hpp"
+#include "util/rng.hpp"
+
+namespace newtop {
+namespace {
+
+template <typename T>
+T roundtrip(const T& value) {
+    return decode_from_bytes<T>(encode_to_bytes(value));
+}
+
+TEST(Serial, PrimitiveRoundtrips) {
+    EXPECT_EQ(roundtrip<std::uint8_t>(0xab), 0xab);
+    EXPECT_EQ(roundtrip<std::uint16_t>(0x1234), 0x1234);
+    EXPECT_EQ(roundtrip<std::uint32_t>(0xdeadbeef), 0xdeadbeefu);
+    EXPECT_EQ(roundtrip<std::uint64_t>(0x0123456789abcdefULL), 0x0123456789abcdefULL);
+    EXPECT_EQ(roundtrip<std::int32_t>(-42), -42);
+    EXPECT_EQ(roundtrip<std::int64_t>(std::numeric_limits<std::int64_t>::min()),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(roundtrip<bool>(true), true);
+    EXPECT_EQ(roundtrip<bool>(false), false);
+    EXPECT_DOUBLE_EQ(roundtrip<double>(3.14159), 3.14159);
+    EXPECT_DOUBLE_EQ(roundtrip<double>(-0.0), -0.0);
+}
+
+TEST(Serial, StringRoundtrips) {
+    EXPECT_EQ(roundtrip<std::string>(""), "");
+    EXPECT_EQ(roundtrip<std::string>("hello"), "hello");
+    const std::string with_nul("a\0b", 3);
+    EXPECT_EQ(roundtrip<std::string>(with_nul), with_nul);
+}
+
+TEST(Serial, BlobRoundtrips) {
+    EXPECT_EQ(roundtrip<Bytes>(Bytes{}), Bytes{});
+    EXPECT_EQ(roundtrip<Bytes>(Bytes{0, 255, 1, 2}), (Bytes{0, 255, 1, 2}));
+}
+
+TEST(Serial, VectorRoundtrips) {
+    const std::vector<std::uint32_t> v{1, 2, 3, 0xffffffff};
+    EXPECT_EQ(roundtrip(v), v);
+    EXPECT_EQ(roundtrip(std::vector<std::string>{"a", "", "bc"}),
+              (std::vector<std::string>{"a", "", "bc"}));
+}
+
+TEST(Serial, NestedVectorRoundtrips) {
+    const std::vector<std::vector<std::uint8_t>> v{{1}, {}, {2, 3}};
+    EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Serial, OptionalRoundtrips) {
+    EXPECT_EQ(roundtrip(std::optional<std::uint32_t>{}), std::nullopt);
+    EXPECT_EQ(roundtrip(std::optional<std::uint32_t>{7}), std::optional<std::uint32_t>{7});
+}
+
+TEST(Serial, PairAndMapRoundtrips) {
+    const std::pair<std::uint32_t, std::string> p{9, "nine"};
+    EXPECT_EQ(roundtrip(p), p);
+    const std::map<std::string, std::uint64_t> m{{"a", 1}, {"b", 2}};
+    EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Serial, StrongIdRoundtrips) {
+    struct Tag {};
+    using Id = StrongId<Tag, std::uint64_t>;
+    EXPECT_EQ(roundtrip(Id(12345)), Id(12345));
+}
+
+TEST(Serial, LittleEndianLayout) {
+    Encoder e;
+    e.put_u32(0x01020304);
+    const Bytes b = std::move(e).take();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0x04);
+    EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Serial, TruncatedInputThrows) {
+    Encoder e;
+    e.put_u64(1);
+    Bytes b = std::move(e).take();
+    b.pop_back();
+    Decoder d(b);
+    EXPECT_THROW(d.get_u64(), DecodeError);
+}
+
+TEST(Serial, TruncatedStringThrows) {
+    Encoder e;
+    e.put_u32(100);  // claims 100 bytes follow
+    const Bytes b = std::move(e).take();
+    Decoder d(b);
+    EXPECT_THROW(d.get_string(), DecodeError);
+}
+
+TEST(Serial, HostileSequenceLengthThrows) {
+    Encoder e;
+    e.put_u32(0xffffffff);  // sequence "length"
+    const Bytes b = std::move(e).take();
+    Decoder d(b);
+    std::vector<std::uint8_t> v;
+    EXPECT_THROW(decode(d, v), DecodeError);
+}
+
+TEST(Serial, InvalidBoolThrows) {
+    const Bytes b{2};
+    Decoder d(b);
+    EXPECT_THROW(d.get_bool(), DecodeError);
+}
+
+TEST(Serial, TrailingBytesDetected) {
+    Encoder e;
+    e.put_u32(1);
+    e.put_u8(0);  // extra byte
+    const Bytes b = std::move(e).take();
+    EXPECT_THROW(decode_from_bytes<std::uint32_t>(b), DecodeError);
+}
+
+TEST(Serial, ExhaustedAndRemaining) {
+    Encoder e;
+    e.put_u16(7);
+    const Bytes b = std::move(e).take();
+    Decoder d(b);
+    EXPECT_FALSE(d.exhausted());
+    EXPECT_EQ(d.remaining(), 2u);
+    d.get_u16();
+    EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Serial, EmptyBufferDecodeThrows) {
+    const Bytes b;
+    Decoder d(b);
+    EXPECT_THROW(d.get_u8(), DecodeError);
+}
+
+// Property test: random mixed-field records always round-trip.
+TEST(Serial, RandomRecordRoundtripProperty) {
+    Rng rng(0xfeed);
+    for (int iter = 0; iter < 200; ++iter) {
+        Encoder e;
+        std::vector<std::uint64_t> u64s;
+        std::vector<std::string> strings;
+        const int fields = static_cast<int>(rng.next_in(0, 10));
+        for (int f = 0; f < fields; ++f) u64s.push_back(rng.next_u64());
+        const int nstr = static_cast<int>(rng.next_in(0, 5));
+        for (int f = 0; f < nstr; ++f) {
+            std::string s;
+            const auto len = rng.next_in(0, 64);
+            for (std::uint64_t i = 0; i < len; ++i) {
+                s.push_back(static_cast<char>(rng.next_in(0, 255)));
+            }
+            strings.push_back(std::move(s));
+        }
+        encode(e, u64s);
+        encode(e, strings);
+        const Bytes b = std::move(e).take();
+
+        Decoder d(b);
+        std::vector<std::uint64_t> u64s_out;
+        std::vector<std::string> strings_out;
+        decode(d, u64s_out);
+        decode(d, strings_out);
+        EXPECT_EQ(u64s_out, u64s);
+        EXPECT_EQ(strings_out, strings);
+        EXPECT_TRUE(d.exhausted());
+    }
+}
+
+// Property test: decoding random garbage either throws DecodeError or
+// produces a value, but never crashes or reads out of bounds.
+TEST(Serial, RandomGarbageNeverCrashes) {
+    Rng rng(0xdead);
+    for (int iter = 0; iter < 500; ++iter) {
+        Bytes garbage;
+        const auto len = rng.next_in(0, 64);
+        for (std::uint64_t i = 0; i < len; ++i) {
+            garbage.push_back(static_cast<std::uint8_t>(rng.next_in(0, 255)));
+        }
+        Decoder d(garbage);
+        try {
+            std::vector<std::string> v;
+            decode(d, v);
+        } catch (const DecodeError&) {
+            // expected for most inputs
+        }
+    }
+}
+
+}  // namespace
+}  // namespace newtop

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strong_id.hpp"
+
+namespace newtop {
+namespace {
+
+struct FooTag {};
+struct BarTag {};
+using FooId = StrongId<FooTag, std::uint32_t>;
+using BarId = StrongId<BarTag, std::uint32_t>;
+
+TEST(StrongId, DefaultsToZero) {
+    FooId id;
+    EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(StrongId, OrderingFollowsValue) {
+    EXPECT_LT(FooId(1), FooId(2));
+    EXPECT_EQ(FooId(7), FooId(7));
+    EXPECT_NE(FooId(7), FooId(8));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+    static_assert(!std::is_same_v<FooId, BarId>);
+    static_assert(!std::is_convertible_v<FooId, BarId>);
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+    std::unordered_set<FooId> ids{FooId(1), FooId(2), FooId(1)};
+    EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(StrongId, UsableInOrderedContainers) {
+    std::set<FooId> ids{FooId(3), FooId(1), FooId(2)};
+    EXPECT_EQ(ids.begin()->value(), 1u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    bool diverged = false;
+    for (int i = 0; i < 10 && !diverged; ++i) diverged = a.next_u64() != b.next_u64();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, DoubleIsInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextInRespectsBounds) {
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.next_in(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, NextInSingletonRange) {
+    Rng rng(3);
+    EXPECT_EQ(rng.next_in(4, 4), 4u);
+}
+
+TEST(Rng, NextInSignedCoversNegatives) {
+    Rng rng(5);
+    bool saw_negative = false;
+    for (int i = 0; i < 200; ++i) {
+        const auto v = rng.next_in_signed(-10, 10);
+        EXPECT_GE(v, -10);
+        EXPECT_LE(v, 10);
+        saw_negative |= v < 0;
+    }
+    EXPECT_TRUE(saw_negative);
+}
+
+TEST(Rng, EmptyRangeThrows) {
+    Rng rng(1);
+    EXPECT_THROW(rng.next_in(5, 4), PreconditionError);
+}
+
+TEST(Rng, BoolProbabilityExtremes) {
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.next_bool(0.0));
+        EXPECT_TRUE(rng.next_bool(1.0));
+    }
+}
+
+TEST(Rng, BoolProbabilityRoughlyCalibrated) {
+    Rng rng(13);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng parent(21);
+    Rng child = parent.split();
+    // The child stream should not replay the parent stream.
+    Rng parent_copy(21);
+    parent_copy.next_u64();  // advance past the split draw
+    EXPECT_NE(child.next_u64(), parent_copy.next_u64());
+}
+
+TEST(Check, ExpectsThrowsPreconditionError) {
+    EXPECT_THROW(NEWTOP_EXPECTS(false, "must hold"), PreconditionError);
+    EXPECT_NO_THROW(NEWTOP_EXPECTS(true, "must hold"));
+}
+
+TEST(Check, EnsuresThrowsInvariantError) {
+    EXPECT_THROW(NEWTOP_ENSURES(false, "broken"), InvariantError);
+    EXPECT_NO_THROW(NEWTOP_ENSURES(true, "fine"));
+}
+
+TEST(Check, MessagesMentionExpressionAndReason) {
+    try {
+        NEWTOP_EXPECTS(1 == 2, "numbers disagree");
+        FAIL() << "should have thrown";
+    } catch (const PreconditionError& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace newtop
