@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closed_vs_open.dir/bench_closed_vs_open.cpp.o"
+  "CMakeFiles/bench_closed_vs_open.dir/bench_closed_vs_open.cpp.o.d"
+  "bench_closed_vs_open"
+  "bench_closed_vs_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closed_vs_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonreplicated.dir/bench_nonreplicated.cpp.o"
+  "CMakeFiles/bench_nonreplicated.dir/bench_nonreplicated.cpp.o.d"
+  "bench_nonreplicated"
+  "bench_nonreplicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonreplicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimized_open.dir/bench_optimized_open.cpp.o"
+  "CMakeFiles/bench_optimized_open.dir/bench_optimized_open.cpp.o.d"
+  "bench_optimized_open"
+  "bench_optimized_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimized_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

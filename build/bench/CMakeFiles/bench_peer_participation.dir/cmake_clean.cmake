@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peer_participation.dir/bench_peer_participation.cpp.o"
+  "CMakeFiles/bench_peer_participation.dir/bench_peer_participation.cpp.o.d"
+  "bench_peer_participation"
+  "bench_peer_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peer_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_corba.dir/bench_table1_corba.cpp.o"
+  "CMakeFiles/bench_table1_corba.dir/bench_table1_corba.cpp.o.d"
+  "bench_table1_corba"
+  "bench_table1_corba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_corba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_to_group_pipeline.dir/group_to_group_pipeline.cpp.o"
+  "CMakeFiles/group_to_group_pipeline.dir/group_to_group_pipeline.cpp.o.d"
+  "group_to_group_pipeline"
+  "group_to_group_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_to_group_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/directory.cpp" "src/CMakeFiles/newtop.dir/gcs/directory.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/gcs/directory.cpp.o.d"
+  "/root/repo/src/gcs/endpoint.cpp" "src/CMakeFiles/newtop.dir/gcs/endpoint.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/gcs/endpoint.cpp.o.d"
+  "/root/repo/src/gcs/endpoint_liveness.cpp" "src/CMakeFiles/newtop.dir/gcs/endpoint_liveness.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/gcs/endpoint_liveness.cpp.o.d"
+  "/root/repo/src/gcs/endpoint_membership.cpp" "src/CMakeFiles/newtop.dir/gcs/endpoint_membership.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/gcs/endpoint_membership.cpp.o.d"
+  "/root/repo/src/gcs/messages.cpp" "src/CMakeFiles/newtop.dir/gcs/messages.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/gcs/messages.cpp.o.d"
+  "/root/repo/src/gcs/ordering.cpp" "src/CMakeFiles/newtop.dir/gcs/ordering.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/gcs/ordering.cpp.o.d"
+  "/root/repo/src/gcs/view.cpp" "src/CMakeFiles/newtop.dir/gcs/view.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/gcs/view.cpp.o.d"
+  "/root/repo/src/invocation/envelope.cpp" "src/CMakeFiles/newtop.dir/invocation/envelope.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/invocation/envelope.cpp.o.d"
+  "/root/repo/src/invocation/service.cpp" "src/CMakeFiles/newtop.dir/invocation/service.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/invocation/service.cpp.o.d"
+  "/root/repo/src/invocation/service_client.cpp" "src/CMakeFiles/newtop.dir/invocation/service_client.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/invocation/service_client.cpp.o.d"
+  "/root/repo/src/invocation/service_server.cpp" "src/CMakeFiles/newtop.dir/invocation/service_server.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/invocation/service_server.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/newtop.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/newtop.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/newtop.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/net/topology.cpp.o.d"
+  "/root/repo/src/newtop/newtop_service.cpp" "src/CMakeFiles/newtop.dir/newtop/newtop_service.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/newtop/newtop_service.cpp.o.d"
+  "/root/repo/src/orb/ior.cpp" "src/CMakeFiles/newtop.dir/orb/ior.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/orb/ior.cpp.o.d"
+  "/root/repo/src/orb/object_adapter.cpp" "src/CMakeFiles/newtop.dir/orb/object_adapter.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/orb/object_adapter.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "src/CMakeFiles/newtop.dir/orb/orb.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/orb/orb.cpp.o.d"
+  "/root/repo/src/replication/active_replica.cpp" "src/CMakeFiles/newtop.dir/replication/active_replica.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/replication/active_replica.cpp.o.d"
+  "/root/repo/src/replication/passive_replica.cpp" "src/CMakeFiles/newtop.dir/replication/passive_replica.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/replication/passive_replica.cpp.o.d"
+  "/root/repo/src/serial/decoder.cpp" "src/CMakeFiles/newtop.dir/serial/decoder.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/serial/decoder.cpp.o.d"
+  "/root/repo/src/serial/encoder.cpp" "src/CMakeFiles/newtop.dir/serial/encoder.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/serial/encoder.cpp.o.d"
+  "/root/repo/src/sim/cpu_queue.cpp" "src/CMakeFiles/newtop.dir/sim/cpu_queue.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/sim/cpu_queue.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/newtop.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/newtop.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/newtop.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/newtop.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for newtop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/closed_mode_test.cpp" "tests/CMakeFiles/newtop_tests.dir/closed_mode_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/closed_mode_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/newtop_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/gcs_test.cpp" "tests/CMakeFiles/newtop_tests.dir/gcs_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/gcs_test.cpp.o.d"
+  "/root/repo/tests/invocation_test.cpp" "tests/CMakeFiles/newtop_tests.dir/invocation_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/invocation_test.cpp.o.d"
+  "/root/repo/tests/iogr_service_test.cpp" "tests/CMakeFiles/newtop_tests.dir/iogr_service_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/iogr_service_test.cpp.o.d"
+  "/root/repo/tests/membership_test.cpp" "tests/CMakeFiles/newtop_tests.dir/membership_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/membership_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/newtop_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/orb_test.cpp" "tests/CMakeFiles/newtop_tests.dir/orb_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/orb_test.cpp.o.d"
+  "/root/repo/tests/ordering_test.cpp" "tests/CMakeFiles/newtop_tests.dir/ordering_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/ordering_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/newtop_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/replication_test.cpp" "tests/CMakeFiles/newtop_tests.dir/replication_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/replication_test.cpp.o.d"
+  "/root/repo/tests/serial_test.cpp" "tests/CMakeFiles/newtop_tests.dir/serial_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/serial_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/newtop_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/newtop_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/newtop_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/newtop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtop_tests.dir/closed_mode_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/closed_mode_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/determinism_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/determinism_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/gcs_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/gcs_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/invocation_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/invocation_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/iogr_service_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/iogr_service_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/membership_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/membership_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/net_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/net_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/orb_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/orb_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/ordering_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/ordering_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/property_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/replication_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/replication_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/serial_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/serial_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/newtop_tests.dir/util_test.cpp.o"
+  "CMakeFiles/newtop_tests.dir/util_test.cpp.o.d"
+  "newtop_tests"
+  "newtop_tests.pdb"
+  "newtop_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtop_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
