@@ -13,9 +13,11 @@
 // with membership, asymmetric faster.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "net/calibration.hpp"
@@ -31,6 +33,7 @@ enum class Where { kLan, kGeo };
 struct PeerResult {
     double mean_deliver_ms{0.0};
     double group_msgs_per_s{0.0};
+    std::string metrics_json;
 };
 
 struct PeerOptions {
@@ -169,6 +172,7 @@ private:
         if (end > start && start >= 0) {
             result.group_msgs_per_s = static_cast<double>(measured) / to_seconds(end - start);
         }
+        result.metrics_json = network_.metrics().to_json();
         return result;
     }
 
@@ -184,6 +188,7 @@ private:
 void report(benchmark::State& state, const PeerResult& result) {
     state.counters["deliver_ms"] = result.mean_deliver_ms;
     state.counters["group_msg_per_s"] = result.group_msgs_per_s;
+    std::cout << "# metrics " << result.metrics_json << "\n";
 }
 
 #define NEWTOP_PEER_BENCH(name, bench_where, bench_order)                      \

@@ -4,7 +4,9 @@
 // the NewTop overhead (other benches) ~2.5x of it.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
+#include <string>
 
 #include "net/calibration.hpp"
 #include "orb/orb.hpp"
@@ -29,6 +31,7 @@ private:
 struct DirectResult {
     double latency_ms;
     double throughput_rps;
+    std::string metrics_json;
 };
 
 DirectResult run_direct(SiteId client_site, SiteId server_site, Topology topology) {
@@ -62,12 +65,14 @@ DirectResult run_direct(SiteId client_site, SiteId server_site, Topology topolog
     // The loop stops issuing when done; use last completion implicitly via
     // latency (closed loop => throughput = 1/latency for one client).
     result.throughput_rps = 1000.0 / result.latency_ms;
+    result.metrics_json = network.metrics().to_json();
     return result;
 }
 
 void report(benchmark::State& state, const DirectResult& result) {
     state.counters["timed_request_ms"] = result.latency_ms;
     state.counters["req_per_s"] = result.throughput_rps;
+    std::cout << "# metrics " << result.metrics_json << "\n";
 }
 
 void BM_Table1_LanDistinctNodes(benchmark::State& state) {

@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -55,6 +56,9 @@ struct RequestReplyResult {
     double mean_latency_ms{0.0};
     double throughput_rps{0.0};
     std::uint64_t wire_messages{0};
+    /// Full deterministic dump of the world's metrics registry (counters +
+    /// latency histograms) at the end of the run.
+    std::string metrics_json;
 };
 
 struct RequestReplyOptions {
@@ -203,6 +207,7 @@ private:
             result.throughput_rps = static_cast<double>(measured) /
                                     to_seconds(last_completion - first_issue);
         }
+        result.metrics_json = network_.metrics().to_json();
         return result;
     }
 
@@ -216,11 +221,19 @@ private:
     std::vector<std::unique_ptr<Client>> clients_;
 };
 
-/// Attach the standard result counters to a google-benchmark state.
+/// Emit a world's metrics dump on stdout.  One line per experiment, grep-
+/// friendly prefix; the JSON itself is deterministic for a given seed.
+inline void emit_metrics(const std::string& metrics_json) {
+    if (!metrics_json.empty()) std::cout << "# metrics " << metrics_json << "\n";
+}
+
+/// Attach the standard result counters to a google-benchmark state and
+/// print the metrics blob for the run.
 inline void report(::benchmark::State& state, const RequestReplyResult& result) {
     state.counters["latency_ms"] = result.mean_latency_ms;
     state.counters["req_per_s"] = result.throughput_rps;
     state.counters["wire_msgs"] = static_cast<double>(result.wire_messages);
+    emit_metrics(result.metrics_json);
 }
 
 }  // namespace newtop::bench

@@ -104,9 +104,9 @@ GroupCommEndpoint::GroupStats GroupCommEndpoint::group_stats(GroupId group) cons
     stats.nulls_sent = g->nulls_sent;
     stats.delivered = g->delivered_count;
     switch (g->config.order) {
-        case OrderMode::kTotalSymmetric: stats.holdback = g->symmetric.has_pending() ? 1 : 0; break;
-        case OrderMode::kTotalAsymmetric: stats.holdback = g->sequencer.has_pending() ? 1 : 0; break;
-        case OrderMode::kCausal: stats.holdback = g->causal.has_pending() ? 1 : 0; break;
+        case OrderMode::kTotalSymmetric: stats.holdback = g->symmetric.pending_count(); break;
+        case OrderMode::kTotalAsymmetric: stats.holdback = g->sequencer.pending_count(); break;
+        case OrderMode::kCausal: stats.holdback = g->causal.pending_count(); break;
     }
     return stats;
 }
@@ -115,6 +115,10 @@ GroupCommEndpoint::GroupStats GroupCommEndpoint::group_stats(GroupId group) cons
 
 bool GroupCommEndpoint::process_crashed() const {
     return orb_->network().node(orb_->node_id()).crashed();
+}
+
+obs::MetricsRegistry& GroupCommEndpoint::metrics() const {
+    return orb_->network().metrics();
 }
 
 void GroupCommEndpoint::on_wire(const Bytes& payload) {
@@ -218,6 +222,9 @@ void GroupCommEndpoint::multicast(GroupId group, Bytes payload) {
     NEWTOP_EXPECTS(g != nullptr, "unknown group");
     NEWTOP_EXPECTS(g->installed || g->state == Group::State::kViewChange,
                    "group not yet joined");
+    metrics().add("gcs.multicasts");
+    metrics().trace(obs::TraceKind::kMulticastSent, orb_->scheduler().now(), id_.value(),
+                    group.value(), payload.size());
     if (g->state == Group::State::kViewChange || !g->installed) {
         g->blocked_sends.push_back(std::move(payload));
         return;
@@ -228,20 +235,33 @@ void GroupCommEndpoint::multicast(GroupId group, Bytes payload) {
 // -- data path ------------------------------------------------------------------
 
 void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload) {
+    const SimTime now = orb_->scheduler().now();
     DataMsg msg;
     msg.group = g.id;
     msg.epoch = g.view.epoch;
     msg.sender = id_;
     msg.ts = ++clock_;
     msg.kind = kind;
+    msg.sent_at = now;
     msg.payload = std::move(payload);
     if (kind == DataKind::kNull) {
         msg.seq = 0;  // nulls are ephemeral: no stream seqno, no retransmit
         msg.received_counts = received_counts(g);
         ++g.nulls_sent;
+        metrics().add("gcs.nulls_sent");
+        metrics().trace(obs::TraceKind::kNullOnWire, now, id_.value(), g.id.value());
     } else {
         msg.seq = g.next_send_seq++;
         g.unstable.emplace(MsgRef{id_, msg.seq}, msg);
+        if (kind == DataKind::kOrder) {
+            metrics().add("gcs.order_sent");
+            metrics().trace(obs::TraceKind::kOrderOnWire, now, id_.value(), g.id.value(),
+                            msg.seq);
+        } else {
+            metrics().add("gcs.data_sent");
+            metrics().trace(obs::TraceKind::kDataOnWire, now, id_.value(), g.id.value(),
+                            msg.seq);
+        }
     }
     if (kind == DataKind::kApplication) {
         msg.knowledge = knowledge_snapshot(g.id);
@@ -389,6 +409,13 @@ void GroupCommEndpoint::pump(Group& g) {
             ordered = g.causal.take_deliverable();
             break;
     }
+    std::size_t holdback = 0;
+    switch (g.config.order) {
+        case OrderMode::kTotalSymmetric: holdback = g.symmetric.pending_count(); break;
+        case OrderMode::kTotalAsymmetric: holdback = g.sequencer.pending_count(); break;
+        case OrderMode::kCausal: holdback = g.causal.pending_count(); break;
+    }
+    metrics().observe("gcs.holdback_depth", static_cast<SimDuration>(holdback));
     for (auto& msg : ordered) g.release_queue.push_back(std::move(msg));
     try_release_all();
 }
@@ -435,6 +462,8 @@ void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
     NEWTOP_ENSURES(msg.kind == DataKind::kApplication, "only application data is delivered");
     g.delivered_refs.insert(MsgRef{msg.sender, msg.seq});
     ++g.delivered_count;
+    metrics().add("gcs.delivered");
+    metrics().observe("gcs.delivery_latency_us", orb_->scheduler().now() - msg.sent_at);
     if (msg.sender != id_) {
         auto& stream = g.inbound[msg.sender];
         stream.delivered_app_count = std::max(stream.delivered_app_count, msg.seq + 1);
@@ -501,6 +530,7 @@ void GroupCommEndpoint::send_nack(GroupId group_id, EndpointId sender) {
                               : stream.out_of_order.begin()->first;
     for (Seqno s = stream.next_expected; s < gap_end; ++s) nack.missing.push_back(s);
     if (nack.missing.empty()) return;
+    metrics().add("gcs.nacks_sent");
     send_wire(sender, nack);
 
     // Retry until the gap closes (or a view change supersedes everything).
@@ -513,7 +543,10 @@ void GroupCommEndpoint::handle_nack(const NackMsg& msg) {
     if (g == nullptr || msg.epoch != g->view.epoch) return;
     for (const Seqno seq : msg.missing) {
         const auto it = g->unstable.find(MsgRef{id_, seq});
-        if (it != g->unstable.end()) send_wire(msg.requester, it->second);
+        if (it != g->unstable.end()) {
+            metrics().add("gcs.retransmits");
+            send_wire(msg.requester, it->second);
+        }
         // Absent => the message went stable, meaning the requester had
         // already received it; the NACK raced a delivery.
     }

@@ -201,6 +201,8 @@ private:
     /// message handlers bail out through this so a crashed node can never
     /// mutate shared state (e.g. the directory) again.
     [[nodiscard]] bool process_crashed() const;
+    /// The world's metrics registry (owned by the Network).
+    [[nodiscard]] obs::MetricsRegistry& metrics() const;
     void on_wire(const Bytes& payload);
     void send_wire(EndpointId to, const GcsMessage& msg);
     void multicast_wire(const Group& g, const GcsMessage& msg);

@@ -264,6 +264,9 @@ void GroupCommEndpoint::handle_propose(const ProposeMsg& msg) {
             const auto& log = g.sequencer.assignment_log();
             flush.orders.assign(log.begin(), log.end());
         }
+        metrics().add("gcs.flushes_sent");
+        metrics().trace(obs::TraceKind::kFlushSent, orb_->scheduler().now(), id_.value(),
+                        g.id.value(), msg.new_epoch);
         send_wire(msg.coordinator, flush);
     }
 }
@@ -365,6 +368,9 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     g.view = msg.view;
     g.installed = true;
     g.view_installed_at = orb_->scheduler().now();
+    metrics().add("gcs.views_installed");
+    metrics().trace(obs::TraceKind::kViewInstalled, g.view_installed_at, id_.value(),
+                    group_id.value(), g.view.epoch);
     g.state = Group::State::kNormal;
     g.leading = false;
     g.next_send_seq = 0;

@@ -53,6 +53,7 @@ void encode(Encoder& e, const DataMsg& v) {
     encode(e, v.payload);
     encode(e, v.received_counts);
     encode(e, v.causal_vc);
+    e.put_i64(v.sent_at);
 }
 void decode(Decoder& d, DataMsg& v) {
     decode(d, v.group);
@@ -67,6 +68,7 @@ void decode(Decoder& d, DataMsg& v) {
     decode(d, v.payload);
     decode(d, v.received_counts);
     decode(d, v.causal_vc);
+    v.sent_at = d.get_i64();
 }
 
 namespace {

@@ -73,6 +73,10 @@ struct DataMsg {
     /// of that member's application messages the sender had delivered when
     /// it sent this one.
     std::vector<std::pair<EndpointId, Seqno>> causal_vc;
+    /// Simulated send time, stamped by the sender; the receiver's delivery
+    /// latency histogram (gcs.delivery_latency_us) is deliver-time minus
+    /// this.  Sim time is global, so no clock-skew correction is needed.
+    SimTime sent_at{0};
 };
 
 /// Retransmission request: "resend your messages with these seqnos".

@@ -72,11 +72,17 @@ void SequencerOrder::reset(std::vector<EndpointId> members, EndpointId self) {
     assignment_.clear();
     log_.clear();
     data_store_.clear();
+    seen_refs_.clear();
 }
 
 void SequencerOrder::on_data(const DataMsg& msg) {
     if (msg.kind != DataKind::kApplication) return;  // nulls bypass ordering
     const MsgRef ref{msg.sender, msg.seq};
+    // Dedupe on the ref, covering refs already assigned, already delivered
+    // (erased from data_store_/assignment_), and still pending.  Without
+    // this a retransmitted message earns a second order slot whose data can
+    // never reappear, and take_deliverable() stalls there permanently.
+    if (!seen_refs_.insert(ref).second) return;
     data_store_.emplace(ref, msg);
     if (is_sequencer()) {
         assignment_.emplace(next_assign_, ref);

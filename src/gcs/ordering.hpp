@@ -15,8 +15,10 @@
 // messages.  Keeping them free of I/O makes them directly unit-testable.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "gcs/messages.hpp"
@@ -43,6 +45,9 @@ public:
     /// drives the event-driven time-silence mechanism: while someone's
     /// message is held back, everyone must keep nulling.
     [[nodiscard]] bool has_pending() const { return !holdback_.empty(); }
+
+    /// Number of application messages currently held back (diagnostics).
+    [[nodiscard]] std::size_t pending_count() const { return holdback_.size(); }
 
     /// Lowest timestamp this engine still considers undeliverable (for
     /// diagnostics/tests).
@@ -94,6 +99,11 @@ public:
         return !data_store_.empty() || !assignment_.empty();
     }
 
+    /// Number of application messages awaiting order or data (diagnostics).
+    [[nodiscard]] std::size_t pending_count() const {
+        return std::max(data_store_.size(), assignment_.size());
+    }
+
     /// All assignments learned this epoch (including delivered ones) — the
     /// view-change flush reports these so the cut preserves sequencer order.
     [[nodiscard]] const std::map<std::uint64_t, MsgRef>& assignment_log() const { return log_; }
@@ -110,6 +120,12 @@ private:
     std::map<std::uint64_t, MsgRef> assignment_;  // order number -> undelivered message
     std::map<std::uint64_t, MsgRef> log_;         // order number -> message (whole epoch)
     std::map<MsgRef, DataMsg> data_store_;        // undelivered data
+    /// Every ref ever fed to on_data this epoch — including delivered ones,
+    /// whose data/assignment entries are already gone.  Duplicates (e.g. a
+    /// redundant retransmission) must not reach the assignment path: a
+    /// second order slot for the same ref can never be satisfied once the
+    /// first delivery consumed the data, wedging delivery forever.
+    std::set<MsgRef> seen_refs_;
 };
 
 /// Causal order via dependency vectors: message m carries, per member, how
@@ -127,6 +143,9 @@ public:
     [[nodiscard]] std::vector<std::pair<EndpointId, Seqno>> delivered_vector() const;
 
     [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+
+    /// Number of messages whose causal dependencies are unmet (diagnostics).
+    [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
     /// Remove and return everything still held back (view-change flush).
     std::vector<DataMsg> drain_pending();

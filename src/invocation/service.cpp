@@ -12,6 +12,8 @@ InvocationService::InvocationService(Orb& orb, GroupCommEndpoint& endpoint,
                                      Directory& directory)
     : orb_(&orb), endpoint_(&endpoint), directory_(&directory) {}
 
+obs::MetricsRegistry& InvocationService::metrics() const { return orb_->network().metrics(); }
+
 // -- serve -----------------------------------------------------------------------
 
 namespace {
@@ -210,12 +212,7 @@ bool InvocationService::on_removed(GroupId group) {
         if (b.group_origin) {
             // The monitor group dissolved around us; the binding dies.
             b.state = Binding::State::kDead;
-            std::vector<std::uint64_t> seqs;
-            for (auto& [seq, call] : b.inflight) seqs.push_back(seq);
-            for (const auto seq : seqs) {
-                auto node = b.inflight.extract(seq);
-                complete_call(b, std::move(node.mapped()), false);
-            }
+            fail_all_calls(b);
         } else {
             rebind(b);
         }

@@ -149,6 +149,9 @@ private:
         std::uint8_t flags{0};
         GroupReplyHandler handler;
         TimerId timeout{0};
+        /// Sim time of the first send (-1 until sent): feeds the per-mode
+        /// reply-wait histograms and distinguishes retries from first sends.
+        SimTime issued_at{-1};
         // closed mode: replies collected so far
         std::vector<ReplyEntry> replies;
         std::set<EndpointId> repliers;
@@ -218,6 +221,8 @@ private:
     void reevaluate_closed_calls(Binding& b);
     [[nodiscard]] std::size_t live_server_count(const Binding& b) const;
     void arm_call_timeout(Binding& b, PendingCall& call);
+    void fail_all_calls(Binding& b);
+    [[nodiscard]] obs::MetricsRegistry& metrics() const;
 
     Orb* orb_;
     GroupCommEndpoint* endpoint_;

@@ -17,6 +17,17 @@ namespace {
 /// How long a client waits for a request manager to accept an invitation
 /// and appear in the client/server group before trying another server.
 constexpr SimDuration kInviteTimeout = 3_s;
+
+/// Per-mode reply-wait histogram names (issue to handler completion).
+const char* reply_wait_metric(InvocationMode mode) {
+    switch (mode) {
+        case InvocationMode::kOneWay: return "invocation.reply_wait_us.oneway";
+        case InvocationMode::kWaitFirst: return "invocation.reply_wait_us.first";
+        case InvocationMode::kWaitMajority: return "invocation.reply_wait_us.majority";
+        case InvocationMode::kWaitAll: return "invocation.reply_wait_us.all";
+    }
+    return "invocation.reply_wait_us.other";
+}
 }  // namespace
 
 InvocationService::Binding* InvocationService::find_binding(BindingId id) {
@@ -94,6 +105,10 @@ void InvocationService::start_closed_bind(Binding& b) {
     if (b.invited_servers.empty()) {
         NEWTOP_WARN("binding " << b.id << ": no live server for closed binding");
         b.state = Binding::State::kDead;
+        // Calls queued while joining (or re-queued by a rebind) can never be
+        // carried: fail them now, as the open-mode path does — dropping them
+        // silently would leave their handlers hanging forever.
+        fail_all_calls(b);
         return;
     }
     for (const EndpointId server : b.invited_servers) invite_server(b, server);
@@ -179,11 +194,7 @@ void InvocationService::start_open_bind(Binding& b) {
     if (candidates.empty()) {
         NEWTOP_WARN("binding " << b.id << ": no live server to bind to");
         b.state = Binding::State::kDead;
-        while (!b.queued.empty()) {
-            PendingCall call = std::move(b.queued.front());
-            b.queued.pop_front();
-            complete_call(b, std::move(call), false);
-        }
+        fail_all_calls(b);
         return;
     }
     // Restricted group (§4.2): always the leader, so request manager =
@@ -265,6 +276,9 @@ void InvocationService::binding_became_ready(Binding& b) {
 void InvocationService::rebind(Binding& b) {
     if (b.state == Binding::State::kDead) return;
     ++b.rebinds;
+    metrics().add("invocation.rebinds");
+    metrics().trace(obs::TraceKind::kRebound, orb_->scheduler().now(),
+                    endpoint_->id().value(), b.id, b.rebinds);
     b.failed_managers.insert(b.manager);
 
     // In-flight calls go back to the queue (same call numbers: servers'
@@ -345,6 +359,9 @@ void InvocationService::invoke(BindingId binding, std::uint32_t method, Bytes ar
         return;
     }
     if (b->state != Binding::State::kReady) {
+        metrics().add("invocation.requests_queued");
+        metrics().trace(obs::TraceKind::kRequestQueued, orb_->scheduler().now(),
+                        endpoint_->id().value(), b->id, call.seq);
         b->queued.push_back(std::move(call));
         return;
     }
@@ -367,6 +384,18 @@ void InvocationService::send_call(Binding& b, PendingCall call) {
     request.args = call.args;
     const Bytes wire = encode_envelope(request);
     const GroupId target = b.cs_group;
+
+    const SimTime now = orb_->scheduler().now();
+    if (call.issued_at < 0) {
+        call.issued_at = now;
+        metrics().add("invocation.calls_sent");
+        metrics().trace(obs::TraceKind::kRequestSent, now, endpoint_->id().value(), b.id,
+                        call.seq);
+    } else {
+        metrics().add("invocation.calls_retried");
+        metrics().trace(obs::TraceKind::kRequestRetried, now, endpoint_->id().value(), b.id,
+                        call.seq);
+    }
 
     const bool one_way = call.mode == InvocationMode::kOneWay;
     if (!one_way) {
@@ -400,13 +429,22 @@ void InvocationService::arm_call_timeout(Binding& b, PendingCall& call) {
             if (it == bp->inflight.end()) return;
             auto node = bp->inflight.extract(it);
             node.mapped().timeout = 0;
+            metrics().add("invocation.calls_timed_out");
+            metrics().trace(obs::TraceKind::kCallTimedOut, orb_->scheduler().now(),
+                            endpoint_->id().value(), id, seq);
             complete_call(*bp, std::move(node.mapped()), false);
         });
 }
 
 void InvocationService::complete_call(Binding& b, PendingCall call, bool complete) {
-    (void)b;
     orb_->scheduler().cancel(call.timeout);
+    const SimTime now = orb_->scheduler().now();
+    metrics().add(complete ? "invocation.calls_completed" : "invocation.calls_failed");
+    metrics().trace(complete ? obs::TraceKind::kCallCompleted : obs::TraceKind::kCallFailed,
+                    now, endpoint_->id().value(), b.id, call.seq);
+    if (call.issued_at >= 0) {
+        metrics().observe(reply_wait_metric(call.mode), now - call.issued_at);
+    }
     if (!call.handler) return;
     GroupReply reply;
     reply.complete = complete;
@@ -435,6 +473,9 @@ void InvocationService::collect_closed_reply(Binding& b, const ReplyEnv& reply) 
     PendingCall& call = it->second;
     if (!call.repliers.insert(reply.replier).second) return;
     call.replies.push_back(ReplyEntry{reply.replier, reply.ok, reply.value});
+    metrics().add("invocation.replies_collected");
+    metrics().trace(obs::TraceKind::kReplyCollected, orb_->scheduler().now(),
+                    endpoint_->id().value(), reply.replier.value(), reply.call.seq);
     const std::size_t needed = reply_threshold(call.mode, live_server_count(b));
     if (needed > 0 && call.repliers.size() >= needed) {
         auto node = b.inflight.extract(reply.call.seq);
@@ -455,7 +496,20 @@ std::size_t InvocationService::live_server_count(const Binding& b) const {
 }
 
 void InvocationService::reevaluate_closed_calls(Binding& b) {
+    // Only a ready binding has calls keyed to the current view; while
+    // joining, the cs group's first view contains just the client and must
+    // not be read as "all servers failed".
+    if (b.state != Binding::State::kReady) return;
     const std::size_t servers = live_server_count(b);
+    if (servers == 0) {
+        // Every server left the view.  No reply can ever arrive, and
+        // reply_threshold() never returns 0 for two-way modes, so without
+        // this the calls hang forever when no call timeout is configured.
+        NEWTOP_WARN("binding " << b.id << ": all servers left the closed view");
+        b.state = Binding::State::kDead;
+        fail_all_calls(b);
+        return;
+    }
     std::vector<std::uint64_t> done;
     for (auto& [seq, call] : b.inflight) {
         const std::size_t needed = reply_threshold(call.mode, servers);
@@ -464,6 +518,21 @@ void InvocationService::reevaluate_closed_calls(Binding& b) {
     for (const std::uint64_t seq : done) {
         auto node = b.inflight.extract(seq);
         complete_call(b, std::move(node.mapped()), true);
+    }
+}
+
+void InvocationService::fail_all_calls(Binding& b) {
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(b.inflight.size());
+    for (const auto& [seq, call] : b.inflight) seqs.push_back(seq);
+    for (const std::uint64_t seq : seqs) {
+        auto node = b.inflight.extract(seq);
+        complete_call(b, std::move(node.mapped()), false);
+    }
+    while (!b.queued.empty()) {
+        PendingCall call = std::move(b.queued.front());
+        b.queued.pop_front();
+        complete_call(b, std::move(call), false);
     }
 }
 

@@ -191,6 +191,9 @@ void InvocationService::handle_server_reply(Served& served, const ReplyEnv& repl
     Served::Collecting& collecting = it->second;
     if (!collecting.repliers.insert(reply.replier).second) return;
     collecting.replies.push_back(ReplyEntry{reply.replier, reply.ok, reply.value});
+    metrics().add("invocation.rm_replies_collected");
+    metrics().trace(obs::TraceKind::kReplyCollected, orb_->scheduler().now(),
+                    endpoint_->id().value(), reply.replier.value(), reply.call.seq);
     maybe_finish_collection(served, reply.call);
 }
 

@@ -13,8 +13,23 @@ NodeId Network::add_node(SiteId site) {
     NEWTOP_EXPECTS(site.value() < topology_.site_count(), "unknown site");
     const NodeId id(static_cast<NodeId::rep_type>(nodes_.size()));
     nodes_.push_back(std::make_unique<Node>(id, site, *scheduler_));
+    nodes_.back()->cpu().attach_metrics(&metrics_);
     partition_cell_.push_back(0);
     return id;
+}
+
+const Network::LinkCounterNames& Network::link_counters(SiteId from, SiteId to) {
+    const auto key = std::make_pair(from, to);
+    auto it = link_counter_names_.find(key);
+    if (it == link_counter_names_.end()) {
+        const std::string prefix = "net.link." + std::to_string(from.value()) + "->" +
+                                   std::to_string(to.value());
+        it = link_counter_names_
+                 .emplace(key, LinkCounterNames{prefix + ".messages", prefix + ".bytes",
+                                                prefix + ".drops"})
+                 .first;
+    }
+    return it->second;
 }
 
 Node& Network::node(NodeId id) {
@@ -34,12 +49,22 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
 
     ++stats_.messages_sent;
     stats_.bytes_sent += payload.size();
+    metrics_.add("net.messages_sent");
+    metrics_.add("net.bytes_sent", payload.size());
+    const LinkCounterNames& counters = link_counters(src.site(), dst.site());
+    metrics_.add(counters.messages);
+    metrics_.add(counters.bytes, payload.size());
 
     const LinkParams& link = topology_.link(src.site(), dst.site());
-    if (src.site() != dst.site()) ++stats_.wan_messages;
+    if (src.site() != dst.site()) {
+        ++stats_.wan_messages;
+        metrics_.add("net.wan_messages");
+    }
 
     if (rng_.next_bool(link.loss)) {
         ++stats_.messages_lost;
+        metrics_.add("net.messages_lost");
+        metrics_.add(counters.drops);
         return;
     }
 
@@ -55,17 +80,25 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     arrival = std::max(arrival, last);
     last = arrival;
 
-    scheduler_->schedule_at(arrival, [this, from, to, payload = std::move(payload)] {
+    const SimTime sent_at = scheduler_->now();
+    scheduler_->schedule_at(arrival, [this, from, to, sent_at, counters = &counters,
+                                      payload = std::move(payload)] {
         if (partition_cell_[from.value()] != partition_cell_[to.value()]) {
             ++stats_.messages_lost;
+            metrics_.add("net.messages_lost");
+            metrics_.add(counters->drops);
             return;
         }
         Node& receiver = node(to);
         if (receiver.crashed()) {
             ++stats_.messages_lost;
+            metrics_.add("net.messages_lost");
+            metrics_.add(counters->drops);
             return;
         }
         ++stats_.messages_delivered;
+        metrics_.add("net.messages_delivered");
+        metrics_.observe("net.delivery_latency_us", scheduler_->now() - sent_at);
         receiver.deliver(from, payload);
     });
 }

@@ -16,6 +16,7 @@
 
 #include "net/node.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -67,7 +68,21 @@ public:
     [[nodiscard]] const NetworkStats& stats() const { return stats_; }
     [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
 
+    /// The world's metrics registry.  The network owns it because every
+    /// other layer (CPU queues, ORBs, endpoints, invocation services)
+    /// already reaches the network; one registry per simulated world keeps
+    /// concurrent worlds in one process isolated and runs reproducible.
+    [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+    [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+
 private:
+    struct LinkCounterNames {
+        std::string messages;
+        std::string bytes;
+        std::string drops;
+    };
+    const LinkCounterNames& link_counters(SiteId from, SiteId to);
+
     Scheduler* scheduler_;
     Topology topology_;
     Rng rng_;
@@ -76,6 +91,10 @@ private:
     // Arrival time of the previous message per (from, to), for FIFO links.
     std::map<std::pair<NodeId, NodeId>, SimTime> last_arrival_;
     NetworkStats stats_;
+    obs::MetricsRegistry metrics_;
+    // Cached per-(site, site) counter names; site pairs are few and the
+    // send path is hot, so names are built once.
+    std::map<std::pair<SiteId, SiteId>, LinkCounterNames> link_counter_names_;
 };
 
 }  // namespace newtop

@@ -109,6 +109,13 @@ public:
     Orb& orb() { return *orb_; }
     Directory& directory() { return *directory_; }
 
+    /// The simulated world's metrics registry (owned by the Network; shared
+    /// by every node and NSO in this world).
+    [[nodiscard]] obs::MetricsRegistry& metrics() { return orb_->network().metrics(); }
+    [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+        return orb_->network().metrics();
+    }
+
     // -- request/reply ---------------------------------------------------------
 
     /// Serve `service` (create or join its server group).

@@ -1,0 +1,95 @@
+// Deterministic observability: named counters and sim-time histograms.
+//
+// One MetricsRegistry exists per simulated world (owned by the Network) and
+// is shared by every layer — CPU queues, the network, the ORB, the group
+// communication endpoints and the invocation layer.  Everything is keyed by
+// simulated time and stored in ordered maps, so two runs from the same seed
+// produce byte-identical to_json() output; there is no wall clock anywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace newtop::obs {
+
+/// Log-scale histogram over non-negative sim durations (microseconds).
+/// Bucket 0 holds the value 0; bucket i (i >= 1) holds values in
+/// [2^(i-1), 2^i).  64 buckets cover the full SimDuration range, so the
+/// layout never changes with the data — a requirement for reproducible
+/// output.
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kBucketCount = 64;
+
+    void record(SimDuration value);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] SimDuration sum() const { return sum_; }
+    [[nodiscard]] SimDuration min() const { return min_; }
+    [[nodiscard]] SimDuration max() const { return max_; }
+    [[nodiscard]] const std::array<std::uint64_t, kBucketCount>& buckets() const {
+        return buckets_;
+    }
+
+    /// Inclusive lower bound of bucket `index`.
+    [[nodiscard]] static SimDuration bucket_floor(std::size_t index);
+
+    /// Append this histogram as a JSON object to `out` (sparse buckets:
+    /// [[index, count], ...]).
+    void append_json(std::string& out) const;
+
+private:
+    std::uint64_t count_{0};
+    SimDuration sum_{0};
+    SimDuration min_{0};
+    SimDuration max_{0};
+    std::array<std::uint64_t, kBucketCount> buckets_{};
+};
+
+class MetricsRegistry {
+public:
+    /// Increment counter `name` by `delta` (creating it at zero).
+    void add(std::string_view name, std::uint64_t delta = 1);
+
+    /// Current value of a counter; 0 if it was never incremented.
+    [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+    /// Record `value` into histogram `name` (negative values clamp to 0).
+    void observe(std::string_view name, SimDuration value);
+
+    /// The named histogram, or nullptr if nothing was observed under it.
+    [[nodiscard]] const LatencyHistogram* histogram(std::string_view name) const;
+
+    /// Everything, as one deterministic JSON object:
+    ///   {"counters":{...},"histograms":{...}}
+    /// Ordered-map iteration plus integer-only fields make the string a
+    /// pure function of the recorded data.
+    [[nodiscard]] std::string to_json() const;
+
+    // -- tracing -------------------------------------------------------------
+
+    /// Install (or remove, with nullptr) the trace sink.  Not owned.
+    void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+    [[nodiscard]] TraceSink* trace_sink() const { return trace_sink_; }
+
+    /// Record a protocol event if a sink is installed (no-op otherwise).
+    void trace(TraceKind kind, SimTime at, std::uint64_t actor, std::uint64_t subject = 0,
+               std::uint64_t detail = 0) {
+        if (trace_sink_ != nullptr) {
+            trace_sink_->record(TraceEvent{at, kind, actor, subject, detail});
+        }
+    }
+
+private:
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+    TraceSink* trace_sink_{nullptr};
+};
+
+}  // namespace newtop::obs

@@ -1,0 +1,51 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace newtop::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+    switch (kind) {
+        case TraceKind::kMulticastSent: return "multicast_sent";
+        case TraceKind::kDataOnWire: return "data_on_wire";
+        case TraceKind::kNullOnWire: return "null_on_wire";
+        case TraceKind::kOrderOnWire: return "order_on_wire";
+        case TraceKind::kViewInstalled: return "view_installed";
+        case TraceKind::kFlushSent: return "flush_sent";
+        case TraceKind::kRequestQueued: return "request_queued";
+        case TraceKind::kRequestSent: return "request_sent";
+        case TraceKind::kRequestRetried: return "request_retried";
+        case TraceKind::kReplyCollected: return "reply_collected";
+        case TraceKind::kCallCompleted: return "call_completed";
+        case TraceKind::kCallFailed: return "call_failed";
+        case TraceKind::kCallTimedOut: return "call_timed_out";
+        case TraceKind::kRebound: return "rebound";
+    }
+    return "?";
+}
+
+std::size_t VectorTraceSink::count(TraceKind kind) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string VectorTraceSink::to_json() const {
+    std::string out = "[";
+    bool first = true;
+    for (const TraceEvent& e : events_) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"at\":" + std::to_string(e.at);
+        out += ",\"kind\":\"";
+        out += trace_kind_name(e.kind);
+        out += "\",\"actor\":" + std::to_string(e.actor);
+        out += ",\"subject\":" + std::to_string(e.subject);
+        out += ",\"detail\":" + std::to_string(e.detail);
+        out += '}';
+    }
+    out += ']';
+    return out;
+}
+
+}  // namespace newtop::obs

@@ -1,0 +1,77 @@
+// Structured protocol tracing.
+//
+// A TraceSink receives typed events from the instrumented protocol layers
+// (multicasts, wire messages, view installs, request lifecycle).  Events
+// carry simulated timestamps only, so a trace — like every metric — is a
+// pure function of the run's seed.  Tracing is optional: the registry holds
+// a nullable sink pointer and instrumentation sites pay one branch when no
+// sink is installed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace newtop::obs {
+
+enum class TraceKind : std::uint8_t {
+    // gcs data path
+    kMulticastSent = 0,  // application multicast submitted to a group
+    kDataOnWire = 1,     // application data message sent on the wire
+    kNullOnWire = 2,     // time-silence null sent
+    kOrderOnWire = 3,    // sequencer order record sent
+    // gcs membership
+    kViewInstalled = 4,  // a new view installed at this member
+    kFlushSent = 5,      // flush answer sent to a view-change coordinator
+    // invocation lifecycle
+    kRequestQueued = 6,    // call queued awaiting binding readiness
+    kRequestSent = 7,      // call multicast into the client/server group
+    kRequestRetried = 8,   // call re-sent after a rebind
+    kReplyCollected = 9,   // one server reply gathered (client or manager)
+    kCallCompleted = 10,   // handler fired with complete=true
+    kCallFailed = 11,      // handler fired with complete=false
+    kCallTimedOut = 12,    // call_timeout expired before the threshold
+    kRebound = 13,         // binding rebound to a new manager / fresh group
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceKind kind);
+
+/// One protocol event.  `actor` is the endpoint (or node) that produced the
+/// event; `subject` and `detail` are kind-specific (group id, binding id,
+/// call seq, epoch, payload size, ...), documented at the emission sites.
+struct TraceEvent {
+    SimTime at{0};
+    TraceKind kind{TraceKind::kMulticastSent};
+    std::uint64_t actor{0};
+    std::uint64_t subject{0};
+    std::uint64_t detail{0};
+};
+
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Buffers every event in order — the workhorse for tests and offline
+/// analysis.
+class VectorTraceSink final : public TraceSink {
+public:
+    void record(const TraceEvent& event) override { events_.push_back(event); }
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /// Count events of one kind (test convenience).
+    [[nodiscard]] std::size_t count(TraceKind kind) const;
+
+    /// Deterministic JSON array of the buffered events.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace newtop::obs

@@ -36,10 +36,12 @@ Orb::Orb(Network& network, NodeId node)
 OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, Bytes args, ReplyHandler handler,
                       SimDuration timeout) {
     NEWTOP_EXPECTS(handler != nullptr, "two-way invoke needs a reply handler");
+    metrics().add("orb.invocations");
     const std::uint64_t request_id = next_request_id_++;
     Pending pending{std::move(handler), 0};
     if (timeout > 0) {
         pending.timer = scheduler().schedule_after(timeout, [this, request_id] {
+            if (pending_.contains(request_id)) metrics().add("orb.call_timeouts");
             complete(request_id, ReplyStatus::kTimeout, Bytes{});
         });
     }
@@ -55,6 +57,7 @@ OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, Bytes args, Reply
 }
 
 void Orb::invoke_oneway(const Ior& target, std::uint32_t method, Bytes args) {
+    metrics().add("orb.oneways");
     Bytes wire = encode_request(/*request_id=*/0, /*oneway=*/true, target.key, method, args);
     Node& self = network_->node(node_);
     self.cpu().execute(calibration::marshal_cost(wire.size()),
@@ -88,6 +91,7 @@ void Orb::on_message(NodeId from, const Bytes& payload) {
 }
 
 void Orb::handle_request(NodeId from, Decoder& d) {
+    metrics().add("orb.requests_handled");
     const std::uint64_t request_id = d.get_u64();
     const bool oneway = d.get_bool();
     ObjectKey key;
@@ -129,6 +133,7 @@ void Orb::handle_request(NodeId from, Decoder& d) {
 }
 
 void Orb::send_reply(NodeId to, std::uint64_t request_id, ReplyStatus status, Bytes payload) {
+    metrics().add("orb.replies_sent");
     Encoder e;
     e.put_u8(kMsgReply);
     e.put_u64(request_id);
@@ -151,6 +156,7 @@ void Orb::handle_reply(Decoder& d) {
     }
     Bytes payload = d.get_blob();
     if (pending_.find(request_id) == pending_.end()) return;  // late or duplicate reply
+    metrics().add("orb.replies_received");
 
     Node& self = network_->node(node_);
     self.cpu().execute(calibration::unmarshal_cost(payload.size()),
@@ -191,6 +197,7 @@ void Orb::try_group_member(Iogr group, std::size_t attempt, std::uint32_t method
             const bool retryable =
                 status == ReplyStatus::kTimeout || status == ReplyStatus::kNoObject;
             if (retryable && !last) {
+                metrics().add("orb.group_retries");
                 try_group_member(std::move(group), attempt + 1, method, std::move(args),
                                  std::move(handler), per_member_timeout);
             } else {

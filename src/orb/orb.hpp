@@ -77,6 +77,7 @@ private:
     void complete(std::uint64_t request_id, ReplyStatus status, const Bytes& payload);
     void try_group_member(Iogr group, std::size_t attempt, std::uint32_t method, Bytes args,
                           ReplyHandler handler, SimDuration per_member_timeout);
+    obs::MetricsRegistry& metrics() { return network_->metrics(); }
 
     Network* network_;
     NodeId node_;

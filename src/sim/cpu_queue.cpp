@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -11,6 +12,11 @@ void CpuQueue::execute(SimDuration cost, std::function<void()> fn) {
     NEWTOP_EXPECTS(fn != nullptr, "CPU work must be callable");
     if (dead_) return;
     const SimTime start = std::max(scheduler_->now(), busy_until_);
+    if (metrics_ != nullptr) {
+        metrics_->add("cpu.tasks");
+        metrics_->add("cpu.busy_us", static_cast<std::uint64_t>(cost));
+        metrics_->observe("cpu.queue_wait_us", start - scheduler_->now());
+    }
     busy_until_ = start + cost;
     consumed_ += cost;
     const std::uint64_t epoch = epoch_;

@@ -14,9 +14,18 @@
 
 namespace newtop {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class CpuQueue {
 public:
     explicit CpuQueue(Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+    /// Attach the world's metrics registry (done by Network::add_node).
+    /// Each submitted task then counts toward cpu.tasks / cpu.busy_us and
+    /// its queueing delay feeds the cpu.queue_wait_us histogram.
+    void attach_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
     /// Run `fn` after `cost` microseconds of CPU time, queued FIFO behind
     /// any work already submitted.  Zero-cost work still round-trips
@@ -40,6 +49,7 @@ public:
 
 private:
     Scheduler* scheduler_;
+    obs::MetricsRegistry* metrics_{nullptr};
     SimTime busy_until_{0};
     SimDuration consumed_{0};
     std::uint64_t epoch_{0};

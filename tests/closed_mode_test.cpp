@@ -151,6 +151,52 @@ TEST_F(ClosedWorld, DeadServerAtBindTimeIsWrittenOff) {
     EXPECT_EQ(reply.replies.size(), 2u);
 }
 
+TEST_F(ClosedWorld, QueuedCallsFailWhenClosedBindingDies) {
+    // Regression: calls queued while the binding was joining were silently
+    // dropped when a rebind found no live server (the binding went kDead
+    // without draining its queue), so their handlers never fired.
+    for (int i = 0; i < 3; ++i) net.crash(orbs[i]->node_id());
+    const auto c = add_client();
+    GroupProxy proxy = nsos[c]->bind("svc", {.mode = BindMode::kClosed});
+    bool done = false;
+    GroupReply reply;
+    proxy.invoke(kGet, Bytes{}, InvocationMode::kWaitAll, [&](const GroupReply& r) {
+        reply = r;
+        done = true;
+    });
+    EXPECT_FALSE(done);  // queued: the binding is still joining
+    // The directory writes off the dead servers; the next bind attempt
+    // finds nobody to invite.
+    directory.update_contact_hint(directory.find_group("svc")->id, {});
+    run_for(30_s);  // invite timeout -> rebind -> empty hint -> binding dies
+    ASSERT_TRUE(done) << "queued call was dropped without completion";
+    EXPECT_FALSE(reply.complete);
+    EXPECT_FALSE(proxy.ready());
+    EXPECT_GE(nsos[c]->metrics().counter("invocation.calls_failed"), 1u);
+}
+
+TEST_F(ClosedWorld, AllServersCrashingFailsInFlightCalls) {
+    // Regression: when every server left the view, reply_threshold() could
+    // never be met but never signalled failure either, so in-flight calls
+    // hung forever when no call timeout was configured (the default).
+    const auto c = add_client();
+    GroupProxy proxy = nsos[c]->bind("svc", {.mode = BindMode::kClosed});
+    run_for(2_s);
+    ASSERT_TRUE(proxy.ready());
+    bool done = false;
+    GroupReply reply;
+    proxy.invoke(kIncrement, encode_to_bytes(std::int64_t{1}), InvocationMode::kWaitAll,
+                 [&](const GroupReply& r) {
+                     reply = r;
+                     done = true;
+                 });
+    for (int i = 0; i < 3; ++i) net.crash(orbs[i]->node_id());
+    run_for(30_s);  // suspicion shrinks the view to {client}
+    ASSERT_TRUE(done) << "call hung after all servers crashed";
+    EXPECT_FALSE(reply.complete);
+    EXPECT_GE(nsos[c]->metrics().counter("invocation.calls_failed"), 1u);
+}
+
 TEST_F(ClosedWorld, EachClientFormsItsOwnGroup) {
     const auto c1 = add_client();
     const auto c2 = add_client();

@@ -221,6 +221,41 @@ TEST(SequencerOrder, NullsBypassOrdering) {
     EXPECT_FALSE(order.has_pending());
 }
 
+TEST(SequencerOrder, RetransmittedDataDoesNotGetASecondOrderSlot) {
+    // Regression: a retransmitted data message (NACK recovery re-delivers
+    // the same {sender, seq}) used to be assigned a *second* order slot by
+    // the sequencer.  take_deliverable() erases the data at the first slot,
+    // so the duplicate slot could never be satisfied and delivery stalled
+    // permanently for the whole group.
+    SequencerOrder order;
+    order.reset({kA, kB}, kA);  // self = kA = sequencer
+    order.on_data(data(kB, 0, 1));
+    order.on_data(data(kB, 0, 1));  // retransmission of the same message
+    const auto first = order.take_order_to_send();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->refs.size(), 1u);
+    EXPECT_EQ(order.take_deliverable().size(), 1u);
+
+    // The next message must deliver; with the duplicate slot it stalls.
+    order.on_data(data(kB, 1, 2));
+    EXPECT_TRUE(order.take_order_to_send().has_value());
+    ASSERT_EQ(order.take_deliverable().size(), 1u);
+    EXPECT_FALSE(order.has_pending());
+}
+
+TEST(SequencerOrder, DuplicateOfDeliveredDataIsIgnored) {
+    SequencerOrder order;
+    order.reset({kA, kB}, kA);
+    order.on_data(data(kB, 0, 1));
+    order.take_order_to_send();
+    EXPECT_EQ(order.take_deliverable().size(), 1u);
+    // The duplicate arrives after delivery (late retransmission).
+    order.on_data(data(kB, 0, 1));
+    EXPECT_FALSE(order.take_order_to_send().has_value());
+    EXPECT_TRUE(order.take_deliverable().empty());
+    EXPECT_FALSE(order.has_pending());
+}
+
 TEST(SequencerOrder, AssignmentLogKeepsDeliveredEntries) {
     SequencerOrder order;
     order.reset({kA, kB}, kA);
