@@ -15,6 +15,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <numeric>
@@ -23,6 +26,7 @@
 
 #include "net/calibration.hpp"
 #include "newtop/newtop_service.hpp"
+#include "obs/export.hpp"
 
 namespace newtop::bench {
 
@@ -142,7 +146,27 @@ private:
         }
     }
 
+    /// Deterministic experiment label: doubles as the trace file name, so a
+    /// same-seed rerun overwrites its predecessor with identical bytes.
+    [[nodiscard]] std::string label() const {
+        return std::string("rr_") + setting_name(options_.setting) +
+               (options_.bind.mode == BindMode::kClosed ? "_closed" : "_open") + "_s" +
+               std::to_string(options_.servers) + "_c" + std::to_string(options_.clients) +
+               "_m" + std::to_string(static_cast<int>(options_.mode)) + "_o" +
+               std::to_string(static_cast<int>(options_.server_order)) + "_seed" +
+               std::to_string(options_.seed);
+    }
+
     RequestReplyResult execute() {
+        // NEWTOP_TRACE_OUT=<dir> installs a bounded ring sink for the whole
+        // experiment and writes a Perfetto-loadable JSON per run.
+        const char* trace_dir = std::getenv("NEWTOP_TRACE_OUT");
+        std::unique_ptr<obs::RingTraceSink> trace_sink;
+        if (trace_dir != nullptr && *trace_dir != '\0') {
+            trace_sink = std::make_unique<obs::RingTraceSink>(std::size_t{1} << 20);
+            network_.metrics().set_trace_sink(trace_sink.get());
+        }
+
         // Servers.
         GroupConfig server_config;
         server_config.order = options_.server_order;
@@ -208,6 +232,26 @@ private:
                                     to_seconds(last_completion - first_issue);
         }
         result.metrics_json = network_.metrics().to_json();
+
+        if (trace_sink != nullptr) {
+            network_.metrics().set_trace_sink(nullptr);
+            obs::ExportOptions export_options;
+            for (const auto& nso : server_nsos_) {
+                export_options.actor_to_node[nso->id().value()] =
+                    nso->orb().node_id().value();
+            }
+            for (const auto& client : clients_) {
+                export_options.actor_to_node[client->nso->id().value()] =
+                    client->orb->node_id().value();
+            }
+            const std::filesystem::path dir(trace_dir);
+            std::filesystem::create_directories(dir);
+            const std::filesystem::path path = dir / (label() + ".json");
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            out << obs::export_chrome_trace(trace_sink->snapshot(), export_options);
+            out.close();
+            std::cout << "# trace " << path.string() << "\n";
+        }
         return result;
     }
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local check: build + ctest on the plain tree, then again with
+# AddressSanitizer + UBSan (the NEWTOP_SANITIZE cmake option), so the
+# sanitizer configuration is exercised routinely rather than manually.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_tree() {
+    local dir="$1"
+    shift
+    echo "== configure ${dir} ($*)"
+    cmake -B "${dir}" -S . "$@" >/dev/null
+    echo "== build ${dir}"
+    cmake --build "${dir}" -j "${JOBS}"
+    echo "== ctest ${dir}"
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "${EXTRA_CTEST_ARGS[@]}"
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+run_tree build
+run_tree build-asan -DNEWTOP_SANITIZE=address,undefined
+
+echo "== all checks passed"

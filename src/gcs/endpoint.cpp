@@ -464,6 +464,11 @@ void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
     ++g.delivered_count;
     metrics().add("gcs.delivered");
     metrics().observe("gcs.delivery_latency_us", orb_->scheduler().now() - msg.sent_at);
+    // subject = group, detail = the delivered {epoch, sender, seq} ref: the
+    // raw material for the oracle's total-order / virtual-synchrony checks.
+    metrics().trace(obs::TraceKind::kDataDelivered, orb_->scheduler().now(), id_.value(),
+                    g.id.value(),
+                    obs::pack_delivered_ref(msg.epoch, msg.sender.value(), msg.seq));
     if (msg.sender != id_) {
         auto& stream = g.inbound[msg.sender];
         stream.delivered_app_count = std::max(stream.delivered_app_count, msg.seq + 1);

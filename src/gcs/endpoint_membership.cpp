@@ -173,6 +173,8 @@ void GroupCommEndpoint::begin_round(Group& g) {
     g.leading = true;
     g.vc_epoch = std::max(g.view.epoch, g.vc_epoch) + 1;
     g.vc_coordinator = id_;
+    metrics().trace(obs::TraceKind::kViewChangeBegun, orb_->scheduler().now(), id_.value(),
+                    g.id.value(), g.vc_epoch);
     g.vc_flushed.clear();
     g.vc_cut.clear();
     g.vc_orders.clear();
@@ -232,6 +234,8 @@ void GroupCommEndpoint::enter_view_change(Group& g, ViewEpoch new_epoch,
     g.leading = false;
     g.vc_epoch = new_epoch;
     g.vc_coordinator = coordinator;
+    metrics().trace(obs::TraceKind::kViewChangeBegun, orb_->scheduler().now(), id_.value(),
+                    g.id.value(), new_epoch);
     orb_->scheduler().cancel(g.vc_timer);
     const GroupId id = g.id;
     // Followers wait noticeably longer than the coordinator's own retry
@@ -339,9 +343,15 @@ void GroupCommEndpoint::deliver_cut(Group& g, const InstallMsg& msg) {
     // Cut delivery ignores cross-group barriers: blocking the flush on
     // another group's progress could deadlock two concurrent view changes.
     // Causality across groups is re-established from the new view onwards.
+    std::uint64_t flushed = 0;
     for (DataMsg& data : sort_cut(std::move(pending), msg.orders)) {
         deliver_to_app(g, std::move(data));
+        ++flushed;
     }
+    // detail = messages the cut flushed; marks the virtual-synchrony
+    // boundary of the closing view in the event stream.
+    metrics().trace(obs::TraceKind::kCutDelivered, orb_->scheduler().now(), id_.value(),
+                    g.id.value(), flushed);
 }
 
 void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
@@ -369,8 +379,13 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     g.installed = true;
     g.view_installed_at = orb_->scheduler().now();
     metrics().add("gcs.views_installed");
+    // detail packs {membership digest, epoch}: two sides of a partition
+    // installing the same epoch number stay distinguishable for the
+    // oracle's consecutive-shared-view comparison.
+    std::uint64_t digest = obs::kFnvOffsetBasis;
+    for (const EndpointId member : g.view.members) digest = obs::fnv1a64(digest, member.value());
     metrics().trace(obs::TraceKind::kViewInstalled, g.view_installed_at, id_.value(),
-                    group_id.value(), g.view.epoch);
+                    group_id.value(), obs::pack_view_detail(g.view.epoch, digest));
     g.state = Group::State::kNormal;
     g.leading = false;
     g.next_send_seq = 0;

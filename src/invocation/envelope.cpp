@@ -33,6 +33,15 @@ void decode(Decoder& d, CallId& v) {
     decode(d, v.group_origin);
 }
 
+void encode(Encoder& e, const obs::SpanContext& v) {
+    e.put_u64(v.trace);
+    e.put_u64(v.span);
+}
+void decode(Decoder& d, obs::SpanContext& v) {
+    v.trace = d.get_u64();
+    v.span = d.get_u64();
+}
+
 void encode(Encoder& e, const ReplyEntry& v) {
     encode(e, v.replier);
     encode(e, v.ok);
@@ -48,6 +57,7 @@ namespace {
 
 void encode_body(Encoder& e, const RequestEnv& v) {
     encode(e, v.call);
+    encode(e, v.span);
     e.put_u8(static_cast<std::uint8_t>(v.mode));
     e.put_u8(v.flags);
     encode(e, v.server_group);
@@ -57,6 +67,7 @@ void encode_body(Encoder& e, const RequestEnv& v) {
 }
 void decode_body(Decoder& d, RequestEnv& v) {
     decode(d, v.call);
+    decode(d, v.span);
     v.mode = decode_mode(d);
     v.flags = d.get_u8();
     decode(d, v.server_group);
@@ -67,6 +78,7 @@ void decode_body(Decoder& d, RequestEnv& v) {
 
 void encode_body(Encoder& e, const ForwardEnv& v) {
     encode(e, v.call);
+    encode(e, v.span);
     e.put_u8(static_cast<std::uint8_t>(v.mode));
     e.put_u8(v.flags);
     encode(e, v.manager);
@@ -75,6 +87,7 @@ void encode_body(Encoder& e, const ForwardEnv& v) {
 }
 void decode_body(Decoder& d, ForwardEnv& v) {
     decode(d, v.call);
+    decode(d, v.span);
     v.mode = decode_mode(d);
     v.flags = d.get_u8();
     decode(d, v.manager);
@@ -84,12 +97,14 @@ void decode_body(Decoder& d, ForwardEnv& v) {
 
 void encode_body(Encoder& e, const ReplyEnv& v) {
     encode(e, v.call);
+    encode(e, v.span);
     encode(e, v.replier);
     encode(e, v.ok);
     encode(e, v.value);
 }
 void decode_body(Decoder& d, ReplyEnv& v) {
     decode(d, v.call);
+    decode(d, v.span);
     decode(d, v.replier);
     decode(d, v.ok);
     decode(d, v.value);
@@ -97,11 +112,13 @@ void decode_body(Decoder& d, ReplyEnv& v) {
 
 void encode_body(Encoder& e, const AggregateEnv& v) {
     encode(e, v.call);
+    encode(e, v.span);
     encode(e, v.complete);
     encode(e, v.replies);
 }
 void decode_body(Decoder& d, AggregateEnv& v) {
     decode(d, v.call);
+    decode(d, v.span);
     decode(d, v.complete);
     decode(d, v.replies);
 }

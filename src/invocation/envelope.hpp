@@ -10,6 +10,7 @@
 
 #include "gcs/types.hpp"
 #include "invocation/types.hpp"
+#include "obs/trace.hpp"
 #include "serial/serial.hpp"
 
 namespace newtop {
@@ -24,6 +25,7 @@ inline constexpr std::uint8_t kFlagNoReply = 1 << 1;
 /// group; in closed mode, multicast in the access group.
 struct RequestEnv {
     CallId call;
+    obs::SpanContext span;  // the client span issuing this call
     InvocationMode mode{InvocationMode::kWaitFirst};
     std::uint8_t flags{0};
     GroupId server_group;  // which service this call targets
@@ -35,6 +37,7 @@ struct RequestEnv {
 /// Request manager -> server group (step (ii) of fig. 4).
 struct ForwardEnv {
     CallId call;
+    obs::SpanContext span;  // the request-manager span driving the forward
     InvocationMode mode{InvocationMode::kWaitFirst};
     std::uint8_t flags{0};
     EndpointId manager;  // who is collecting replies
@@ -46,6 +49,7 @@ struct ForwardEnv {
 /// fig. 4(iii)) or sent directly to the client (closed mode).
 struct ReplyEnv {
     CallId call;
+    obs::SpanContext span;  // the replier's execution span
     EndpointId replier;
     bool ok{true};
     Bytes value;
@@ -54,6 +58,7 @@ struct ReplyEnv {
 /// Request manager -> client(s): the gathered replies (fig. 4(iv)).
 struct AggregateEnv {
     CallId call;
+    obs::SpanContext span;  // the request-manager span that collected
     bool complete{true};
     std::vector<ReplyEntry> replies;
 };
@@ -67,5 +72,7 @@ void encode(Encoder& e, const CallId& v);
 void decode(Decoder& d, CallId& v);
 void encode(Encoder& e, const ReplyEntry& v);
 void decode(Decoder& d, ReplyEntry& v);
+void encode(Encoder& e, const obs::SpanContext& v);
+void decode(Decoder& d, obs::SpanContext& v);
 
 }  // namespace newtop

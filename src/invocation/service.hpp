@@ -129,6 +129,7 @@ private:
         struct Collecting {
             InvocationMode mode{InvocationMode::kWaitFirst};
             GroupId reply_group;  // client/server or monitor group
+            obs::SpanContext span;  // this manager's span for the call
             std::vector<ReplyEntry> replies;
             std::set<EndpointId> repliers;
         };
@@ -147,6 +148,9 @@ private:
         Bytes args;
         InvocationMode mode{InvocationMode::kWaitFirst};
         std::uint8_t flags{0};
+        /// The client span for this call; trace id fixed at invoke() time so
+        /// retries and rebinds stay inside one trace.
+        obs::SpanContext span;
         GroupReplyHandler handler;
         TimerId timeout{0};
         /// Sim time of the first send (-1 until sent): feeds the per-mode
@@ -195,7 +199,7 @@ private:
     void handle_forward(Served& served, const ForwardEnv& forward);
     void handle_server_reply(Served& served, const ReplyEnv& reply);
     void execute_and(Served& served, const CallId& call, std::uint32_t method, Bytes args,
-                     std::function<void(ReplyEnv)> done);
+                     obs::SpanContext parent, std::function<void(ReplyEnv)> done);
     void send_aggregate(Served& served, const CallId& call, GroupId reply_group,
                         AggregateEnv aggregate);
     void maybe_finish_collection(Served& served, const CallId& call);

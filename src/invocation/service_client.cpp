@@ -353,6 +353,14 @@ void InvocationService::invoke(BindingId binding, std::uint32_t method, Bytes ar
     if (b->options.async_forwarding && mode == InvocationMode::kWaitFirst) {
         call.flags |= kFlagAsyncForwarding;
     }
+    // Root of the call's span tree.  The trace id depends only on the
+    // CallId, so retries, rebinds and every downstream principal land in
+    // the same trace.
+    const std::uint64_t origin =
+        b->group_origin ? b->client_group.value() : endpoint_->id().value();
+    call.span.trace = obs::invocation_trace_id(origin, call.seq, b->group_origin);
+    call.span.span =
+        obs::span_id(call.span.trace, endpoint_->id().value(), obs::SpanRole::kClient);
 
     if (b->state == Binding::State::kDead) {
         complete_call(*b, std::move(call), false);
@@ -361,7 +369,7 @@ void InvocationService::invoke(BindingId binding, std::uint32_t method, Bytes ar
     if (b->state != Binding::State::kReady) {
         metrics().add("invocation.requests_queued");
         metrics().trace(obs::TraceKind::kRequestQueued, orb_->scheduler().now(),
-                        endpoint_->id().value(), b->id, call.seq);
+                        endpoint_->id().value(), call.span, 0, b->id, call.seq);
         b->queued.push_back(std::move(call));
         return;
     }
@@ -376,6 +384,7 @@ void InvocationService::send_call(Binding& b, PendingCall call) {
     RequestEnv request;
     request.call = CallId{b.group_origin ? b.client_group.value() : endpoint_->id().value(),
                           call.seq, b.group_origin};
+    request.span = call.span;
     request.mode = call.mode;
     request.flags = call.flags;
     request.server_group = b.server_group;
@@ -389,12 +398,12 @@ void InvocationService::send_call(Binding& b, PendingCall call) {
     if (call.issued_at < 0) {
         call.issued_at = now;
         metrics().add("invocation.calls_sent");
-        metrics().trace(obs::TraceKind::kRequestSent, now, endpoint_->id().value(), b.id,
-                        call.seq);
+        metrics().trace(obs::TraceKind::kRequestSent, now, endpoint_->id().value(), call.span,
+                        0, b.id, call.seq);
     } else {
         metrics().add("invocation.calls_retried");
-        metrics().trace(obs::TraceKind::kRequestRetried, now, endpoint_->id().value(), b.id,
-                        call.seq);
+        metrics().trace(obs::TraceKind::kRequestRetried, now, endpoint_->id().value(),
+                        call.span, 0, b.id, call.seq);
     }
 
     const bool one_way = call.mode == InvocationMode::kOneWay;
@@ -431,7 +440,9 @@ void InvocationService::arm_call_timeout(Binding& b, PendingCall& call) {
             node.mapped().timeout = 0;
             metrics().add("invocation.calls_timed_out");
             metrics().trace(obs::TraceKind::kCallTimedOut, orb_->scheduler().now(),
-                            endpoint_->id().value(), id, seq);
+                            endpoint_->id().value(), node.mapped().span, 0, id,
+                            obs::pack_completion_detail(
+                                static_cast<std::uint64_t>(node.mapped().mode), seq));
             complete_call(*bp, std::move(node.mapped()), false);
         });
 }
@@ -441,7 +452,9 @@ void InvocationService::complete_call(Binding& b, PendingCall call, bool complet
     const SimTime now = orb_->scheduler().now();
     metrics().add(complete ? "invocation.calls_completed" : "invocation.calls_failed");
     metrics().trace(complete ? obs::TraceKind::kCallCompleted : obs::TraceKind::kCallFailed,
-                    now, endpoint_->id().value(), b.id, call.seq);
+                    now, endpoint_->id().value(), call.span, 0, b.id,
+                    obs::pack_completion_detail(static_cast<std::uint64_t>(call.mode),
+                                                call.seq));
     if (call.issued_at >= 0) {
         metrics().observe(reply_wait_metric(call.mode), now - call.issued_at);
     }
@@ -475,7 +488,8 @@ void InvocationService::collect_closed_reply(Binding& b, const ReplyEnv& reply) 
     call.replies.push_back(ReplyEntry{reply.replier, reply.ok, reply.value});
     metrics().add("invocation.replies_collected");
     metrics().trace(obs::TraceKind::kReplyCollected, orb_->scheduler().now(),
-                    endpoint_->id().value(), reply.replier.value(), reply.call.seq);
+                    endpoint_->id().value(), call.span, reply.span.span,
+                    reply.replier.value(), reply.call.seq);
     const std::size_t needed = reply_threshold(call.mode, live_server_count(b));
     if (needed > 0 && call.repliers.size() >= needed) {
         auto node = b.inflight.extract(reply.call.seq);

@@ -19,17 +19,27 @@ std::size_t InvocationService::reply_threshold(InvocationMode mode, std::size_t 
 }
 
 void InvocationService::execute_and(Served& served, const CallId& call, std::uint32_t method,
-                                    Bytes args, std::function<void(ReplyEnv)> done) {
+                                    Bytes args, obs::SpanContext parent,
+                                    std::function<void(ReplyEnv)> done) {
     // The delivered request crosses the colocated boundary into the
     // application object (fig. 9's m3/m4) and consumes servant CPU.
     const SimDuration cost =
         calibration::kLocalHandoffCost + served.servant->execution_cost(method);
     auto servant = served.servant;
     const EndpointId self = endpoint_->id();
+    // The replica's execution span: child of whichever span shipped the
+    // request here (client, manager forward, ...).  Rides back in the reply
+    // so the collector can record which execution each reply came from.
+    const obs::SpanContext exec{parent.trace,
+                                obs::span_id(parent.trace, self.value(), obs::SpanRole::kServer)};
+    metrics().trace(obs::TraceKind::kExecutionBegun, orb_->scheduler().now(), self.value(), exec,
+                    parent.span, call.origin, call.seq);
     orb_->network().node(orb_->node_id()).cpu().execute(
-        cost, [servant, call, method, args = std::move(args), done = std::move(done), self] {
+        cost, [this, servant, call, method, args = std::move(args), done = std::move(done), self,
+               exec, parent] {
             ReplyEnv reply;
             reply.call = call;
+            reply.span = exec;
             reply.replier = self;
             try {
                 reply.value = servant->handle(method, args);
@@ -38,6 +48,8 @@ void InvocationService::execute_and(Served& served, const CallId& call, std::uin
                 const std::string what = err.what();
                 reply.value = Bytes(what.begin(), what.end());
             }
+            metrics().trace(obs::TraceKind::kExecutionDone, orb_->scheduler().now(), self.value(),
+                            exec, parent.span, call.origin, call.seq);
             done(std::move(reply));
         });
 }
@@ -69,7 +81,7 @@ void InvocationService::handle_closed_request(Served& served, GroupId cs_group,
     }
 
     const InvocationMode mode = request.mode;
-    execute_and(served, request.call, request.method, request.args,
+    execute_and(served, request.call, request.method, request.args, request.span,
                 [this, &served, cs_group, mode](ReplyEnv reply) {
                     served.reply_cache[reply.call.origin] = reply;
                     if (mode == InvocationMode::kOneWay) return;
@@ -104,8 +116,18 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
         if (served.collecting.contains(request.call)) return;  // duplicate in flight
     }
 
+    // This member becomes the call's request manager: open its manager span
+    // as a child of the client span carried by the request.
+    const obs::SpanContext manager_span{
+        request.span.trace,
+        obs::span_id(request.span.trace, endpoint_->id().value(), obs::SpanRole::kManager)};
+    metrics().trace(obs::TraceKind::kRequestForwarded, orb_->scheduler().now(),
+                    endpoint_->id().value(), manager_span, request.span.span,
+                    request.call.origin, request.call.seq);
+
     ForwardEnv forward;
     forward.call = request.call;
+    forward.span = manager_span;
     forward.mode = request.mode;
     forward.manager = endpoint_->id();
     forward.method = request.method;
@@ -124,11 +146,17 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
         // replication shape: manager = sequencer = primary.
         forward.flags = kFlagNoReply;
         endpoint_->multicast(served.server_group, encode_envelope(forward));
-        execute_and(served, request.call, request.method, request.args,
-                    [this, &served, cs_group](ReplyEnv reply) {
+        execute_and(served, request.call, request.method, request.args, manager_span,
+                    [this, &served, cs_group, manager_span](ReplyEnv reply) {
                         served.reply_cache[reply.call.origin] = reply;
+                        metrics().add("invocation.rm_replies_collected");
+                        metrics().trace(obs::TraceKind::kReplyCollected,
+                                        orb_->scheduler().now(), endpoint_->id().value(),
+                                        manager_span, reply.span.span, reply.replier.value(),
+                                        reply.call.seq);
                         AggregateEnv aggregate;
                         aggregate.call = reply.call;
+                        aggregate.span = manager_span;
                         aggregate.complete = true;
                         aggregate.replies.push_back(
                             ReplyEntry{reply.replier, reply.ok, reply.value});
@@ -140,6 +168,7 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
     Served::Collecting collecting;
     collecting.mode = request.mode;
     collecting.reply_group = cs_group;
+    collecting.span = manager_span;
     served.collecting.emplace(request.call, std::move(collecting));
     endpoint_->multicast(served.server_group, encode_envelope(forward));
 }
@@ -153,7 +182,7 @@ void InvocationService::handle_forward(Served& served, const ForwardEnv& forward
             cached->second.call.seq >= forward.call.seq) {
             return;
         }
-        execute_and(served, forward.call, forward.method, forward.args,
+        execute_and(served, forward.call, forward.method, forward.args, forward.span,
                     [&served](ReplyEnv reply) {
                         served.reply_cache[reply.call.origin] = reply;
                     });
@@ -173,7 +202,7 @@ void InvocationService::handle_forward(Served& served, const ForwardEnv& forward
     }
 
     const bool one_way = forward.mode == InvocationMode::kOneWay;
-    execute_and(served, forward.call, forward.method, forward.args,
+    execute_and(served, forward.call, forward.method, forward.args, forward.span,
                 [this, &served, one_way](ReplyEnv reply) {
                     served.reply_cache[reply.call.origin] = reply;
                     if (one_way) return;
@@ -193,7 +222,8 @@ void InvocationService::handle_server_reply(Served& served, const ReplyEnv& repl
     collecting.replies.push_back(ReplyEntry{reply.replier, reply.ok, reply.value});
     metrics().add("invocation.rm_replies_collected");
     metrics().trace(obs::TraceKind::kReplyCollected, orb_->scheduler().now(),
-                    endpoint_->id().value(), reply.replier.value(), reply.call.seq);
+                    endpoint_->id().value(), collecting.span, reply.span.span,
+                    reply.replier.value(), reply.call.seq);
     maybe_finish_collection(served, reply.call);
 }
 
@@ -209,6 +239,7 @@ void InvocationService::maybe_finish_collection(Served& served, const CallId& ca
 
     AggregateEnv aggregate;
     aggregate.call = call;
+    aggregate.span = collecting.span;
     aggregate.complete = true;
     aggregate.replies = std::move(collecting.replies);
     const GroupId reply_group = collecting.reply_group;
@@ -219,6 +250,9 @@ void InvocationService::maybe_finish_collection(Served& served, const CallId& ca
 void InvocationService::send_aggregate(Served& served, const CallId& call, GroupId reply_group,
                                        AggregateEnv aggregate) {
     if (!call.group_origin) served.aggregate_cache[call.origin] = aggregate;
+    // End of the manager span: the gathered replies leave for the client.
+    metrics().trace(obs::TraceKind::kAggregateSent, orb_->scheduler().now(),
+                    endpoint_->id().value(), aggregate.span, 0, call.origin, call.seq);
     // The client (or the whole client group, §4.3) receives the replies as
     // one atomic multicast in the client/server (monitor) group.
     if (endpoint_->is_member(reply_group)) {

@@ -1,0 +1,133 @@
+#include "obs/export.hpp"
+
+#include <set>
+#include <utility>
+
+namespace newtop::obs {
+
+namespace {
+
+const char* span_name(TraceKind begin) {
+    switch (begin) {
+        case TraceKind::kRequestSent: return "invoke";
+        case TraceKind::kRequestForwarded: return "manage";
+        case TraceKind::kExecutionBegun: return "execute";
+        default: return trace_kind_name(begin);
+    }
+}
+
+std::uint64_t pid_of(const ExportOptions& options, std::uint64_t actor) {
+    const auto it = options.actor_to_node.find(actor);
+    return it == options.actor_to_node.end() ? actor : it->second;
+}
+
+void append_args(std::string& out, const TraceEvent& e) {
+    out += "\"args\":{\"trace\":" + std::to_string(e.trace);
+    out += ",\"span\":" + std::to_string(e.span);
+    out += ",\"parent\":" + std::to_string(e.parent);
+    out += ",\"subject\":" + std::to_string(e.subject);
+    out += ",\"detail\":" + std::to_string(e.detail);
+    out += '}';
+}
+
+}  // namespace
+
+bool is_span_begin(TraceKind kind) {
+    return kind == TraceKind::kRequestSent || kind == TraceKind::kRequestForwarded ||
+           kind == TraceKind::kExecutionBegun;
+}
+
+bool is_span_end(TraceKind kind) {
+    return kind == TraceKind::kCallCompleted || kind == TraceKind::kCallFailed ||
+           kind == TraceKind::kCallTimedOut || kind == TraceKind::kAggregateSent ||
+           kind == TraceKind::kExecutionDone;
+}
+
+std::string export_chrome_trace(const std::vector<TraceEvent>& events,
+                                const ExportOptions& options) {
+    // Pair span begins with their ends by {trace, span}.  Unmatched begins
+    // (a manager that crashed before aggregating, ...) degrade to instants.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::size_t>> open;
+    std::map<std::size_t, std::size_t> end_of;  // begin index -> end index
+    std::set<std::size_t> consumed;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        if (e.span == 0) continue;
+        const auto key = std::pair{e.trace, e.span};
+        if (is_span_begin(e.kind)) {
+            open[key].push_back(i);
+        } else if (is_span_end(e.kind)) {
+            auto it = open.find(key);
+            if (it == open.end() || it->second.empty()) continue;
+            end_of[it->second.back()] = i;
+            consumed.insert(i);
+            it->second.pop_back();
+        }
+    }
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string& event) {
+        if (!first) out += ',';
+        first = false;
+        out += event;
+    };
+
+    // Metadata first: stable names for every process (node) and thread
+    // (endpoint) that appears in the stream.
+    std::set<std::uint64_t> pids;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> threads;
+    for (const TraceEvent& e : events) {
+        const std::uint64_t pid = pid_of(options, e.actor);
+        pids.insert(pid);
+        threads.insert({pid, e.actor});
+    }
+    for (const std::uint64_t pid : pids) {
+        emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid) +
+             ",\"args\":{\"name\":\"node " + std::to_string(pid) + "\"}}");
+    }
+    for (const auto& [pid, tid] : threads) {
+        emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"endpoint " +
+             std::to_string(tid) + "\"}}");
+    }
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        if (consumed.contains(i)) continue;  // folded into its begin's "X"
+        const std::uint64_t pid = pid_of(options, e.actor);
+        std::string ev;
+        if (const auto match = end_of.find(i); match != end_of.end()) {
+            const TraceEvent& end = events[match->second];
+            ev = "{\"ph\":\"X\",\"name\":\"";
+            ev += span_name(e.kind);
+            ev += "\",\"cat\":\"span\",\"ts\":" + std::to_string(e.at);
+            ev += ",\"dur\":" + std::to_string(end.at - e.at);
+            ev += ",\"pid\":" + std::to_string(pid);
+            ev += ",\"tid\":" + std::to_string(e.actor);
+            ev += ",\"args\":{\"trace\":" + std::to_string(e.trace);
+            ev += ",\"span\":" + std::to_string(e.span);
+            ev += ",\"parent\":" + std::to_string(e.parent);
+            ev += ",\"subject\":" + std::to_string(e.subject);
+            ev += ",\"detail\":" + std::to_string(e.detail);
+            ev += ",\"end\":\"";
+            ev += trace_kind_name(end.kind);
+            ev += "\"}}";
+        } else {
+            ev = "{\"ph\":\"i\",\"name\":\"";
+            ev += trace_kind_name(e.kind);
+            ev += "\",\"cat\":\"event\",\"s\":\"t\",\"ts\":" + std::to_string(e.at);
+            ev += ",\"pid\":" + std::to_string(pid);
+            ev += ",\"tid\":" + std::to_string(e.actor);
+            ev += ',';
+            append_args(ev, e);
+            ev += '}';
+        }
+        emit(ev);
+    }
+
+    out += "]}";
+    return out;
+}
+
+}  // namespace newtop::obs

@@ -1,0 +1,37 @@
+// Chrome trace-event / Perfetto export of a recorded event stream.
+//
+// Maps the simulated world onto the trace-event JSON model: nodes become
+// processes, endpoints become threads, matched span begin/end pairs become
+// "X" (complete) duration events and every other event an "i" instant.
+// The output is a pure function of the input events (integer-only fields,
+// sorted metadata), so two same-seed runs export byte-identical files —
+// load the result at ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace newtop::obs {
+
+struct ExportOptions {
+    /// Maps an event's `actor` (endpoint id) to the node hosting it; actors
+    /// absent from the map fall back to pid = actor (one process each).
+    std::map<std::uint64_t, std::uint64_t> actor_to_node;
+};
+
+/// True for kinds that open a span (the matching end closes it).
+[[nodiscard]] bool is_span_begin(TraceKind kind);
+/// True for kinds that close a span.
+[[nodiscard]] bool is_span_end(TraceKind kind);
+
+/// Serialize `events` as a Chrome trace-event JSON object
+/// (`{"traceEvents":[...]}`).  Timestamps are already microseconds — the
+/// trace-event native unit — so sim times pass through unchanged.
+[[nodiscard]] std::string export_chrome_trace(const std::vector<TraceEvent>& events,
+                                              const ExportOptions& options = {});
+
+}  // namespace newtop::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace newtop::obs {
 
@@ -27,11 +28,27 @@ SimDuration LatencyHistogram::bucket_floor(std::size_t index) {
     return static_cast<SimDuration>(std::uint64_t{1} << (index - 1));
 }
 
+SimDuration LatencyHistogram::quantile(double q) const {
+    if (count_ == 0) return 0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    auto rank = static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) return std::clamp(bucket_floor(i), min_, max_);
+    }
+    return max_;
+}
+
 void LatencyHistogram::append_json(std::string& out) const {
     out += "{\"count\":" + std::to_string(count_);
     out += ",\"sum\":" + std::to_string(sum_);
     out += ",\"min\":" + std::to_string(min_);
     out += ",\"max\":" + std::to_string(max_);
+    out += ",\"p50\":" + std::to_string(quantile(0.50));
+    out += ",\"p90\":" + std::to_string(quantile(0.90));
+    out += ",\"p99\":" + std::to_string(quantile(0.99));
     out += ",\"buckets\":[";
     bool first = true;
     for (std::size_t i = 0; i < kBucketCount; ++i) {

@@ -40,6 +40,12 @@ public:
     /// Inclusive lower bound of bucket `index`.
     [[nodiscard]] static SimDuration bucket_floor(std::size_t index);
 
+    /// Quantile estimate from bucket floors: the floor of the bucket holding
+    /// the ceil(q * count)-th smallest sample, clamped to [min, max] so the
+    /// log-scale coarseness never reports a value outside the observed
+    /// range.  Returns 0 when empty.
+    [[nodiscard]] SimDuration quantile(double q) const;
+
     /// Append this histogram as a JSON object to `out` (sparse buckets:
     /// [[index, count], ...]).
     void append_json(std::string& out) const;
@@ -83,6 +89,16 @@ public:
                std::uint64_t detail = 0) {
         if (trace_sink_ != nullptr) {
             trace_sink_->record(TraceEvent{at, kind, actor, subject, detail});
+        }
+    }
+
+    /// Span-aware variant: ties the event into an invocation's span tree.
+    /// `parent` is the causally preceding span (0 for a root).
+    void trace(TraceKind kind, SimTime at, std::uint64_t actor, SpanContext span,
+               std::uint64_t parent, std::uint64_t subject = 0, std::uint64_t detail = 0) {
+        if (trace_sink_ != nullptr) {
+            trace_sink_->record(
+                TraceEvent{at, kind, actor, subject, detail, span.trace, span.span, parent});
         }
     }
 

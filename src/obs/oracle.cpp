@@ -1,0 +1,176 @@
+#include "obs/oracle.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace newtop::obs {
+
+namespace {
+
+std::string format_ref(std::uint64_t packed) {
+    return "{epoch " + std::to_string((packed >> 48) & 0xffff) + ", sender " +
+           std::to_string((packed >> 32) & 0xffff) + ", seq " +
+           std::to_string(packed & 0xffffffff) + "}";
+}
+
+std::string format_view(std::uint64_t detail) {
+    return "epoch " + std::to_string(view_detail_epoch(detail)) + "/digest " +
+           std::to_string(detail >> 32);
+}
+
+}  // namespace
+
+const char* violation_kind_name(Violation::Kind kind) {
+    switch (kind) {
+        case Violation::Kind::kTotalOrder: return "total_order";
+        case Violation::Kind::kVirtualSynchrony: return "virtual_synchrony";
+        case Violation::Kind::kDuplicateDelivery: return "duplicate_delivery";
+        case Violation::Kind::kReplyThreshold: return "reply_threshold";
+    }
+    return "?";
+}
+
+std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& events) const {
+    std::vector<Violation> out;
+
+    // One linear pass collects per-member delivery logs, per-member view
+    // install logs, and runs the reply-threshold accounting in stream
+    // order (a completion must be *preceded* by its replies).
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::uint64_t>> deliveries;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::uint64_t>> installs;
+    std::map<std::uint64_t, std::size_t> replies_by_trace;
+    for (const TraceEvent& e : events) {
+        switch (e.kind) {
+            case TraceKind::kDataDelivered:
+                deliveries[{e.subject, e.actor}].push_back(e.detail);
+                break;
+            case TraceKind::kViewInstalled:
+                installs[{e.subject, e.actor}].push_back(e.detail);
+                break;
+            case TraceKind::kReplyCollected:
+                ++replies_by_trace[e.trace];
+                break;
+            case TraceKind::kCallCompleted: {
+                const std::uint64_t mode = completion_detail_mode(e.detail);
+                const auto needed = options_.min_replies_by_mode.find(mode);
+                if (mode == 0 || needed == options_.min_replies_by_mode.end()) break;
+                const std::size_t seen = replies_by_trace[e.trace];
+                if (seen < needed->second) {
+                    out.push_back(
+                        {Violation::Kind::kReplyThreshold,
+                         "call completed at member " + std::to_string(e.actor) + " (trace " +
+                             std::to_string(e.trace) + ", mode " + std::to_string(mode) +
+                             ") after only " + std::to_string(seen) + " collected replies, " +
+                             std::to_string(needed->second) + " required"});
+                }
+                break;
+            }
+            default: break;
+        }
+    }
+
+    // -- no duplicate delivery of one {epoch, sender, seq} ref ----------------
+    for (const auto& [key, refs] : deliveries) {
+        std::set<std::uint64_t> seen;
+        for (const std::uint64_t ref : refs) {
+            if (!seen.insert(ref).second) {
+                out.push_back({Violation::Kind::kDuplicateDelivery,
+                               "member " + std::to_string(key.second) + " delivered " +
+                                   format_ref(ref) + " twice in group " +
+                                   std::to_string(key.first)});
+            }
+        }
+    }
+
+    // -- identical delivery order of common messages --------------------------
+    // Pairwise: project member B's log onto the refs member A also
+    // delivered and require A's positions to be strictly increasing.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> members_of;  // group -> actors
+    for (const auto& [key, refs] : deliveries) members_of[key.first].push_back(key.second);
+    for (const auto& [group, members] : members_of) {
+        if (options_.causal_groups.contains(group)) continue;
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            std::map<std::uint64_t, std::size_t> position;
+            const auto& log_a = deliveries.at({group, members[a]});
+            for (std::size_t i = 0; i < log_a.size(); ++i) position.emplace(log_a[i], i);
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                const auto& log_b = deliveries.at({group, members[b]});
+                std::size_t last = 0;
+                bool have_last = false;
+                std::uint64_t last_ref = 0;
+                for (const std::uint64_t ref : log_b) {
+                    const auto it = position.find(ref);
+                    if (it == position.end()) continue;
+                    if (have_last && it->second <= last) {
+                        out.push_back({Violation::Kind::kTotalOrder,
+                                       "group " + std::to_string(group) + ": members " +
+                                           std::to_string(members[a]) + " and " +
+                                           std::to_string(members[b]) +
+                                           " disagree on the order of " + format_ref(last_ref) +
+                                           " vs " + format_ref(ref)});
+                        break;
+                    }
+                    last = it->second;
+                    last_ref = ref;
+                    have_last = true;
+                }
+            }
+        }
+    }
+
+    // -- virtual synchrony -----------------------------------------------------
+    // A member's deliveries for view v are finalized when it installs v's
+    // successor (the cut runs first), so every member sharing the same
+    // (v, v') transition must have delivered the same epoch(v) set.  A
+    // member's final view has no successor and is not checked — that is
+    // exactly the crash/partition allowance.
+    struct TransitionKey {
+        std::uint64_t group, from, to;
+        auto operator<=>(const TransitionKey&) const = default;
+    };
+    std::map<TransitionKey, std::map<std::uint64_t, std::set<std::uint64_t>>> transitions;
+    for (const auto& [key, views] : installs) {
+        const auto delivered = deliveries.find(key);
+        for (std::size_t i = 0; i + 1 < views.size(); ++i) {
+            const std::uint64_t epoch16 = view_detail_epoch(views[i]) & 0xffff;
+            std::set<std::uint64_t> in_view;
+            if (delivered != deliveries.end()) {
+                for (const std::uint64_t ref : delivered->second) {
+                    if (((ref >> 48) & 0xffff) == epoch16) in_view.insert(ref);
+                }
+            }
+            transitions[{key.first, views[i], views[i + 1]}][key.second] = std::move(in_view);
+        }
+    }
+    for (const auto& [key, by_member] : transitions) {
+        const auto& reference = by_member.begin()->second;
+        for (const auto& [member, set] : by_member) {
+            if (set == reference) continue;
+            std::vector<std::uint64_t> diff;
+            std::set_symmetric_difference(set.begin(), set.end(), reference.begin(),
+                                          reference.end(), std::back_inserter(diff));
+            out.push_back({Violation::Kind::kVirtualSynchrony,
+                           "group " + std::to_string(key.group) + ": members " +
+                               std::to_string(by_member.begin()->first) + " and " +
+                               std::to_string(member) +
+                               " delivered different sets between views [" +
+                               format_view(key.from) + " -> " + format_view(key.to) +
+                               "], e.g. " + format_ref(diff.front())});
+        }
+    }
+
+    return out;
+}
+
+std::string ProtocolOracle::report(const std::vector<Violation>& violations) {
+    std::string out;
+    for (const Violation& v : violations) {
+        out += violation_kind_name(v.kind);
+        out += ": ";
+        out += v.message;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace newtop::obs

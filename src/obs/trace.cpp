@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace newtop::obs {
 
@@ -20,8 +21,32 @@ const char* trace_kind_name(TraceKind kind) {
         case TraceKind::kCallFailed: return "call_failed";
         case TraceKind::kCallTimedOut: return "call_timed_out";
         case TraceKind::kRebound: return "rebound";
+        case TraceKind::kDataDelivered: return "data_delivered";
+        case TraceKind::kCutDelivered: return "cut_delivered";
+        case TraceKind::kViewChangeBegun: return "view_change_begun";
+        case TraceKind::kRequestForwarded: return "request_forwarded";
+        case TraceKind::kAggregateSent: return "aggregate_sent";
+        case TraceKind::kExecutionBegun: return "execution_begun";
+        case TraceKind::kExecutionDone: return "execution_done";
     }
     return "?";
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t invocation_trace_id(std::uint64_t origin, std::uint64_t seq, bool group_origin) {
+    std::uint64_t id = mix64(mix64(origin ^ (group_origin ? 0x8000000000000000ULL : 0)) + seq);
+    return id == 0 ? 1 : id;
+}
+
+std::uint64_t span_id(std::uint64_t trace, std::uint64_t actor, SpanRole role) {
+    std::uint64_t id = mix64(mix64(trace + actor) + static_cast<std::uint64_t>(role));
+    return id == 0 ? 1 : id;
 }
 
 std::size_t VectorTraceSink::count(TraceKind kind) const {
@@ -42,10 +67,40 @@ std::string VectorTraceSink::to_json() const {
         out += "\",\"actor\":" + std::to_string(e.actor);
         out += ",\"subject\":" + std::to_string(e.subject);
         out += ",\"detail\":" + std::to_string(e.detail);
+        if (e.trace != 0) {
+            out += ",\"trace\":" + std::to_string(e.trace);
+            out += ",\"span\":" + std::to_string(e.span);
+            out += ",\"parent\":" + std::to_string(e.parent);
+        }
         out += '}';
     }
     out += ']';
     return out;
+}
+
+RingTraceSink::RingTraceSink(std::size_t capacity) : buffer_(capacity == 0 ? 1 : capacity) {}
+
+void RingTraceSink::record(const TraceEvent& event) {
+    if (size_ == buffer_.size()) ++dropped_;
+    buffer_[head_] = event;
+    head_ = (head_ + 1) % buffer_.size();
+    size_ = std::min(size_ + 1, buffer_.size());
+}
+
+std::vector<TraceEvent> RingTraceSink::snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    const std::size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+    for (std::size_t i = 0; i < size_; ++i) {
+        out.push_back(buffer_[(start + i) % buffer_.size()]);
+    }
+    return out;
+}
+
+void RingTraceSink::clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
 }
 
 }  // namespace newtop::obs

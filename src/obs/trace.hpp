@@ -1,13 +1,23 @@
 // Structured protocol tracing.
 //
 // A TraceSink receives typed events from the instrumented protocol layers
-// (multicasts, wire messages, view installs, request lifecycle).  Events
-// carry simulated timestamps only, so a trace — like every metric — is a
-// pure function of the run's seed.  Tracing is optional: the registry holds
-// a nullable sink pointer and instrumentation sites pay one branch when no
-// sink is installed.
+// (multicasts, wire messages, view installs, request lifecycle, deliveries).
+// Events carry simulated timestamps only, so a trace — like every metric —
+// is a pure function of the run's seed.  Tracing is optional: the registry
+// holds a nullable sink pointer and instrumentation sites pay one branch
+// when no sink is installed.
+//
+// On top of the flat event stream sits a causal span model: every
+// invocation owns a deterministic 64-bit trace id (derived from its
+// CallId), and each principal that works on the call — the client, the
+// request manager, each executing server replica — owns a span inside that
+// trace.  Span ids ride inside the invocation envelopes, so the full
+// client → manager → group → reply tree is reconstructable from one event
+// stream (see src/obs/export.hpp for the Perfetto mapping and
+// src/obs/oracle.hpp for the invariant checker that consumes it).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,19 +44,115 @@ enum class TraceKind : std::uint8_t {
     kCallFailed = 11,      // handler fired with complete=false
     kCallTimedOut = 12,    // call_timeout expired before the threshold
     kRebound = 13,         // binding rebound to a new manager / fresh group
+    // gcs delivery path
+    kDataDelivered = 14,   // application message handed to the app layer
+    kCutDelivered = 15,    // view-change cut flushed to the app layer
+    kViewChangeBegun = 16, // membership round opened towards a new epoch
+    // invocation span edges
+    kRequestForwarded = 17, // request manager took charge of a call
+    kAggregateSent = 18,    // request manager multicast the gathered replies
+    kExecutionBegun = 19,   // a server replica started executing the servant
+    kExecutionDone = 20,    // the servant finished and the reply went out
 };
+
+/// Number of TraceKind values; keep in sync with the enum above (the
+/// exhaustiveness test in tests/obs_test.cpp fails if a kind lacks a name).
+inline constexpr std::size_t kTraceKindCount = 21;
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);
 
+/// Identifies one span inside one trace.  A zero trace id means "not part
+/// of any invocation" (pure GCS traffic, membership events, ...).
+struct SpanContext {
+    std::uint64_t trace{0};
+    std::uint64_t span{0};
+
+    friend bool operator==(const SpanContext&, const SpanContext&) = default;
+};
+
+/// The principal a span belongs to; folded into the span id so the same
+/// endpoint can hold distinct client/manager/server spans of one trace.
+enum class SpanRole : std::uint8_t { kClient = 1, kManager = 2, kServer = 3 };
+
+/// SplitMix64 finalizer: a cheap, deterministic 64-bit mixer.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Deterministic trace id for an invocation, derived from its CallId
+/// fields.  Never returns zero (zero is the "no trace" sentinel).
+[[nodiscard]] std::uint64_t invocation_trace_id(std::uint64_t origin, std::uint64_t seq,
+                                                bool group_origin);
+
+/// Deterministic span id for `actor` playing `role` in `trace`.  Never
+/// returns zero.
+[[nodiscard]] std::uint64_t span_id(std::uint64_t trace, std::uint64_t actor, SpanRole role);
+
+// -- detail-field packing -----------------------------------------------------
+//
+// Some kinds carry composite facts in the 64-bit `detail` field; the
+// helpers below define the layouts so emitters and consumers (the oracle,
+// the exporter) agree.
+
+/// kDataDelivered detail: {epoch, sender, seq} of the delivered message.
+/// Epochs and endpoint ids are truncated to 16 bits, seqs to 32 — far
+/// above anything a simulated scenario reaches.
+[[nodiscard]] constexpr std::uint64_t pack_delivered_ref(std::uint64_t epoch,
+                                                         std::uint64_t sender,
+                                                         std::uint64_t seq) {
+    return ((epoch & 0xffffULL) << 48) | ((sender & 0xffffULL) << 32) | (seq & 0xffffffffULL);
+}
+
+/// kViewInstalled detail: low 32 bits the epoch, high 32 bits a digest of
+/// the sorted membership.  Two partitions installing the same epoch number
+/// therefore produce distinguishable view identities.
+[[nodiscard]] constexpr std::uint64_t pack_view_detail(std::uint64_t epoch,
+                                                       std::uint64_t members_digest) {
+    return ((members_digest & 0xffffffffULL) << 32) | (epoch & 0xffffffffULL);
+}
+
+[[nodiscard]] constexpr std::uint64_t view_detail_epoch(std::uint64_t detail) {
+    return detail & 0xffffffffULL;
+}
+
+/// kCallCompleted / kCallFailed / kCallTimedOut detail: low 32 bits the
+/// call seq, high bits the invocation mode (0 = one-way), so the oracle
+/// can exempt one-way calls from reply-threshold accounting.
+[[nodiscard]] constexpr std::uint64_t pack_completion_detail(std::uint64_t mode,
+                                                             std::uint64_t seq) {
+    return (mode << 32) | (seq & 0xffffffffULL);
+}
+
+[[nodiscard]] constexpr std::uint64_t completion_detail_mode(std::uint64_t detail) {
+    return detail >> 32;
+}
+
+/// FNV-1a over a sequence of 64-bit values (used for membership digests;
+/// View.members is sorted, so the digest is order-independent by
+/// construction).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::uint64_t seed, std::uint64_t value) {
+    std::uint64_t h = seed;
+    for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (value >> shift) & 0xff;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+
 /// One protocol event.  `actor` is the endpoint (or node) that produced the
 /// event; `subject` and `detail` are kind-specific (group id, binding id,
-/// call seq, epoch, payload size, ...), documented at the emission sites.
+/// call seq, epoch, packed refs, ...), documented at the emission sites.
+/// `trace`/`span`/`parent` tie the event into the causal span model; all
+/// three are zero for events outside any invocation.
 struct TraceEvent {
     SimTime at{0};
     TraceKind kind{TraceKind::kMulticastSent};
     std::uint64_t actor{0};
     std::uint64_t subject{0};
     std::uint64_t detail{0};
+    std::uint64_t trace{0};
+    std::uint64_t span{0};
+    std::uint64_t parent{0};
 };
 
 class TraceSink {
@@ -72,6 +178,30 @@ public:
 
 private:
     std::vector<TraceEvent> events_;
+};
+
+/// Bounded sink: keeps the most recent `capacity` events, overwriting the
+/// oldest, so long bench runs trace without unbounded memory growth.
+class RingTraceSink final : public TraceSink {
+public:
+    explicit RingTraceSink(std::size_t capacity);
+
+    void record(const TraceEvent& event) override;
+
+    [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    /// Events evicted to make room (0 until the ring wraps).
+    [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+    /// Buffered events, oldest first.
+    [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+    void clear();
+
+private:
+    std::vector<TraceEvent> buffer_;
+    std::size_t head_{0};  // next write position
+    std::size_t size_{0};
+    std::uint64_t dropped_{0};
 };
 
 }  // namespace newtop::obs

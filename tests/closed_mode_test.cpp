@@ -10,6 +10,7 @@
 
 #include "net/calibration.hpp"
 #include "newtop/newtop_service.hpp"
+#include "trace_oracle.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -77,6 +78,7 @@ struct ClosedWorld : ::testing::Test {
 
     Scheduler scheduler;
     Network net;
+    test::OracleScope oracle{net.metrics()};
     Directory directory;
     std::vector<std::unique_ptr<Orb>> orbs;
     std::vector<std::unique_ptr<NewTopService>> nsos;

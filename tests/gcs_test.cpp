@@ -7,6 +7,7 @@
 
 #include "gcs/endpoint.hpp"
 #include "net/calibration.hpp"
+#include "trace_oracle.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -62,6 +63,7 @@ struct GcsWorld {
 
     Scheduler scheduler;
     Network net;
+    test::OracleScope oracle{net.metrics()};
     Directory directory;
     std::vector<std::unique_ptr<Orb>> orbs;
     std::vector<std::unique_ptr<GroupCommEndpoint>> endpoints;
@@ -337,6 +339,7 @@ TEST_F(LanGcs, CausalModeDeliversCausallyRelatedInOrder) {
     const auto b = world.add_endpoint(SiteId(0));
     const auto c = world.add_endpoint(SiteId(0));
     const GroupId g = world.ep(a).create_group("g", config_for(OrderMode::kCausal));
+    world.oracle.options().causal_groups.insert(g.value());
     world.ep(b).join_group("g");
     world.run_for(100_ms);
     world.ep(c).join_group("g");

@@ -7,6 +7,7 @@
 
 #include "net/calibration.hpp"
 #include "newtop/newtop_service.hpp"
+#include "trace_oracle.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -63,6 +64,7 @@ struct InvWorld {
 
     Scheduler scheduler;
     Network net;
+    test::OracleScope oracle{net.metrics()};
     Directory directory;
     std::vector<std::unique_ptr<Orb>> orbs;
     std::vector<std::unique_ptr<NewTopService>> nsos;

@@ -9,6 +9,7 @@
 
 #include "gcs/endpoint.hpp"
 #include "net/calibration.hpp"
+#include "trace_oracle.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -41,6 +42,7 @@ struct MemberWorld {
 
     Scheduler scheduler;
     Network net;
+    test::OracleScope oracle{net.metrics()};
     Directory directory;
     std::vector<std::unique_ptr<Orb>> orbs;
     std::vector<std::unique_ptr<GroupCommEndpoint>> endpoints;

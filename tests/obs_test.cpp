@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,35 @@ TEST(LatencyHistogram, NegativeValuesClampToZero) {
     EXPECT_EQ(h.buckets()[0], 1u);
     EXPECT_EQ(h.min(), 0);
     EXPECT_EQ(h.sum(), 0);
+}
+
+TEST(LatencyHistogram, QuantilesComeFromBucketFloorsClampedToTheRange) {
+    obs::LatencyHistogram h;
+    EXPECT_EQ(h.quantile(0.5), 0);  // empty
+    for (int i = 0; i < 50; ++i) h.record(0);
+    for (int i = 0; i < 50; ++i) h.record(1000);  // bucket [512, 1024)
+    EXPECT_EQ(h.quantile(0.5), 0);
+    EXPECT_EQ(h.quantile(0.9), 512);
+    EXPECT_EQ(h.quantile(0.99), 512);
+}
+
+TEST(LatencyHistogram, SingleSampleQuantilesAreExact) {
+    // One sample lands in bucket [4, 8); the clamp to [min, max] recovers
+    // the exact value.
+    obs::LatencyHistogram h;
+    h.record(7);
+    EXPECT_EQ(h.quantile(0.5), 7);
+    EXPECT_EQ(h.quantile(0.99), 7);
+}
+
+TEST(LatencyHistogram, JsonCarriesTheQuantiles) {
+    obs::LatencyHistogram h;
+    h.record(100);
+    std::string out;
+    h.append_json(out);
+    EXPECT_NE(out.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(out.find("\"p90\":"), std::string::npos);
+    EXPECT_NE(out.find("\"p99\":"), std::string::npos);
 }
 
 TEST(LatencyHistogram, BucketFloors) {
@@ -107,6 +137,53 @@ TEST(MetricsRegistry, TraceIsANoOpWithoutASink) {
     m.set_trace_sink(nullptr);
     m.trace(obs::TraceKind::kFlushSent, 30, 1);
     EXPECT_EQ(sink.events().size(), 2u);
+}
+
+// -- trace kinds & sinks ------------------------------------------------------
+
+TEST(TraceKinds, EveryKindHasAUniqueName) {
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < obs::kTraceKindCount; ++i) {
+        const char* name = obs::trace_kind_name(static_cast<obs::TraceKind>(i));
+        ASSERT_NE(name, nullptr) << "kind " << i;
+        EXPECT_STRNE(name, "?") << "kind " << i;
+        EXPECT_TRUE(names.insert(name).second) << "duplicate name for kind " << i;
+    }
+    // One past the end is the sentinel, proving kTraceKindCount is in sync.
+    EXPECT_STREQ(obs::trace_kind_name(static_cast<obs::TraceKind>(obs::kTraceKindCount)), "?");
+}
+
+TEST(RingTraceSink, KeepsTheMostRecentEvents) {
+    obs::RingTraceSink ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int i = 0; i < 6; ++i) {
+        obs::TraceEvent e;
+        e.at = i;
+        ring.record(e);
+    }
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].at, static_cast<SimTime>(i + 2));  // oldest first
+    }
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(SpanIds, AreDeterministicAndNeverZero) {
+    const std::uint64_t t = obs::invocation_trace_id(3, 9, false);
+    EXPECT_NE(t, 0u);
+    EXPECT_EQ(t, obs::invocation_trace_id(3, 9, false));
+    EXPECT_NE(t, obs::invocation_trace_id(3, 9, true));   // closed-mode origin
+    EXPECT_NE(t, obs::invocation_trace_id(3, 10, false));  // next call
+    const std::uint64_t s = obs::span_id(t, 5, obs::SpanRole::kServer);
+    EXPECT_NE(s, 0u);
+    EXPECT_NE(s, obs::span_id(t, 5, obs::SpanRole::kManager));
+    EXPECT_NE(s, obs::span_id(t, 6, obs::SpanRole::kServer));
 }
 
 // -- end-to-end metrics -------------------------------------------------------

@@ -1,0 +1,53 @@
+// Shared test fixture: record a world's full trace and oracle-check it.
+//
+// Instantiating an OracleScope as a member of a test world installs a
+// VectorTraceSink into the world's MetricsRegistry; when the world is torn
+// down, the protocol oracle (src/obs/oracle.hpp) sweeps the recorded
+// stream and the test fails on any total-order / virtual-synchrony /
+// duplicate-delivery / reply-threshold violation.  Every scenario that
+// builds such a world is conformance-checked for free.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/oracle.hpp"
+#include "obs/trace.hpp"
+
+namespace newtop::test {
+
+class OracleScope {
+public:
+    explicit OracleScope(obs::MetricsRegistry& registry) : registry_(&registry) {
+        registry_->set_trace_sink(&sink_);
+    }
+
+    OracleScope(const OracleScope&) = delete;
+    OracleScope& operator=(const OracleScope&) = delete;
+
+    ~OracleScope() {
+        if (registry_->trace_sink() == &sink_) registry_->set_trace_sink(nullptr);
+        if (!armed_) return;
+        const auto violations = obs::ProtocolOracle(options_).check(sink_.events());
+        EXPECT_TRUE(violations.empty())
+            << "protocol oracle:\n"
+            << obs::ProtocolOracle::report(violations);
+    }
+
+    /// Tweak before the scenario runs (e.g. exempt causal-order groups).
+    [[nodiscard]] obs::OracleOptions& options() { return options_; }
+
+    /// Skip the end-of-test check (for scenarios that intentionally break
+    /// the protocol's assumptions).
+    void disarm() { armed_ = false; }
+
+    [[nodiscard]] const obs::VectorTraceSink& sink() const { return sink_; }
+
+private:
+    obs::MetricsRegistry* registry_;
+    obs::VectorTraceSink sink_;
+    obs::OracleOptions options_;
+    bool armed_{true};
+};
+
+}  // namespace newtop::test
