@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
-# Full local check: build + ctest on the plain tree, then again with
+# Full local check: build + tier-1 ctest on the plain tree, then again with
 # AddressSanitizer + UBSan (the NEWTOP_SANITIZE cmake option), so the
 # sanitizer configuration is exercised routinely rather than manually.
 #
-# Usage: scripts/check.sh [extra ctest args...]
+# Usage: scripts/check.sh [--campaign [N]] [extra ctest args...]
+#
+#   (default)        run the tier-1 suite (ctest -L tier1) in both trees
+#   --campaign [N]   additionally run the chaos campaign over N seeds
+#                    (default 200) in both trees.  On failure the campaign
+#                    prints the failing seed; replay it with
+#                        NEWTOP_FUZZ_SEED=<seed> build/tools/newtop_fuzz
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+CAMPAIGN=0
+CAMPAIGN_SEEDS=200
+if [[ "${1:-}" == "--campaign" ]]; then
+    CAMPAIGN=1
+    shift
+    if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
+        CAMPAIGN_SEEDS="$1"
+        shift
+    fi
+fi
+EXTRA_CTEST_ARGS=("$@")
 
 run_tree() {
     local dir="$1"
@@ -16,11 +34,18 @@ run_tree() {
     cmake -B "${dir}" -S . "$@" >/dev/null
     echo "== build ${dir}"
     cmake --build "${dir}" -j "${JOBS}"
-    echo "== ctest ${dir}"
-    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "${EXTRA_CTEST_ARGS[@]}"
+    echo "== ctest ${dir} (tier1)"
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L tier1 \
+        "${EXTRA_CTEST_ARGS[@]}"
+    if [[ "${CAMPAIGN}" == 1 ]]; then
+        echo "== chaos campaign ${dir} (${CAMPAIGN_SEEDS} seeds)"
+        if ! "${dir}/tools/newtop_fuzz" --seeds "${CAMPAIGN_SEEDS}"; then
+            echo "!! campaign failed in ${dir}; replay the seed printed above with:"
+            echo "!!     NEWTOP_FUZZ_SEED=<seed> ${dir}/tools/newtop_fuzz"
+            exit 1
+        fi
+    fi
 }
-
-EXTRA_CTEST_ARGS=("$@")
 
 run_tree build
 run_tree build-asan -DNEWTOP_SANITIZE=address,undefined

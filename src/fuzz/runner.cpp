@@ -1,0 +1,288 @@
+#include "fuzz/runner.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "newtop/newtop_service.hpp"
+#include "util/check.hpp"
+
+namespace newtop::fuzz {
+
+using namespace sim_literals;
+
+namespace {
+
+/// Deterministic stateless servant: replies echo the request payload, so
+/// execution order across replicas never changes reply values and any
+/// reply-set disagreement the oracle sees is the protocol's fault.
+class EchoServant : public GroupServant {
+public:
+    Bytes handle(std::uint32_t, const Bytes& args) override { return args; }
+};
+
+LinkParams to_params(const LinkSpec& link) {
+    return LinkParams{.latency = static_cast<SimDuration>(link.latency_us),
+                      .jitter = static_cast<SimDuration>(link.jitter_us),
+                      .loss = link.loss,
+                      .bytes_per_us = link.bytes_per_us};
+}
+
+std::string service_name(int j) { return "svc" + std::to_string(j); }
+
+}  // namespace
+
+std::vector<std::string> check_call_liveness(const std::vector<obs::TraceEvent>& events,
+                                             const std::set<std::uint64_t>& exempt) {
+    // (trace, actor) -> sim time the call was first seen; erased on any
+    // terminal event.  Per-actor keys keep group-origin calls (one trace,
+    // many issuing clients) individually accountable.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, SimTime> open;
+    for (const obs::TraceEvent& e : events) {
+        const std::pair<std::uint64_t, std::uint64_t> key{e.trace, e.actor};
+        switch (e.kind) {
+            case obs::TraceKind::kRequestQueued:
+            case obs::TraceKind::kRequestSent:
+                open.try_emplace(key, e.at);
+                break;
+            case obs::TraceKind::kCallCompleted:
+            case obs::TraceKind::kCallFailed:
+            case obs::TraceKind::kCallTimedOut:
+                open.erase(key);
+                break;
+            default: break;
+        }
+    }
+    std::vector<std::string> failures;
+    for (const auto& [key, at] : open) {
+        if (exempt.contains(key.second)) continue;
+        failures.push_back("call trace " + std::to_string(key.first) + " issued by endpoint " +
+                           std::to_string(key.second) + " at t=" + std::to_string(at) +
+                           "us never completed, failed or timed out");
+    }
+    return failures;
+}
+
+std::string RunResult::report() const {
+    std::string out;
+    if (trace_dropped > 0) {
+        out += "trace_overflow: ring dropped " + std::to_string(trace_dropped) +
+               " events; verdict unreliable, raise RunOptions::trace_capacity\n";
+    }
+    out += obs::ProtocolOracle::report(violations);
+    for (const std::string& failure : liveness_failures) {
+        out += "liveness: " + failure + "\n";
+    }
+    return out;
+}
+
+RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
+    NEWTOP_EXPECTS(!scenario.services.empty(), "scenario needs at least one service");
+    NEWTOP_EXPECTS(scenario.sites >= 1, "scenario needs at least one site");
+
+    // -- world ---------------------------------------------------------------
+    Scheduler scheduler;
+    Topology topology;
+    for (int sidx = 0; sidx < scenario.sites; ++sidx) {
+        topology.add_site("site" + std::to_string(sidx), to_params(scenario.lan));
+    }
+    for (int a = 0; a < scenario.sites; ++a) {
+        for (int b = a + 1; b < scenario.sites; ++b) {
+            topology.set_link(SiteId(static_cast<SiteId::rep_type>(a)),
+                              SiteId(static_cast<SiteId::rep_type>(b)),
+                              to_params(scenario.wan));
+        }
+    }
+    Network net(scheduler, std::move(topology), scenario.seed);
+    obs::RingTraceSink sink(options.trace_capacity);
+    net.metrics().set_trace_sink(&sink);
+    Directory directory;
+
+    struct Actor {
+        std::unique_ptr<Orb> orb;
+        std::unique_ptr<NewTopService> nso;
+    };
+    auto spawn = [&](int site) {
+        Actor actor;
+        actor.orb = std::make_unique<Orb>(
+            net, net.add_node(SiteId(static_cast<SiteId::rep_type>(site))));
+        actor.nso = std::make_unique<NewTopService>(*actor.orb, directory);
+        return actor;
+    };
+
+    // -- servers -------------------------------------------------------------
+    std::vector<Actor> servers;  // flattened: Scenario::server_actor order
+    for (std::size_t j = 0; j < scenario.services.size(); ++j) {
+        const ServiceSpec& svc = scenario.services[j];
+        GroupConfig config;
+        config.order = svc.order;
+        config.liveness = svc.liveness;
+        for (const int site : svc.server_sites) {
+            servers.push_back(spawn(site));
+            servers.back().nso->serve(service_name(static_cast<int>(j)), config,
+                                      std::make_shared<EchoServant>());
+            scheduler.run_until(scheduler.now() + 300_ms);
+        }
+    }
+
+    // -- clients -------------------------------------------------------------
+    struct ClientRt {
+        Actor actor;
+        GroupProxy proxy;
+        const ClientSpec* spec{nullptr};
+        int issued{0};
+        int done{0};
+    };
+    std::vector<std::unique_ptr<ClientRt>> clients;
+    for (const ClientSpec& spec : scenario.clients) {
+        auto rt = std::make_unique<ClientRt>();
+        rt->actor = spawn(spec.site);
+        rt->spec = &spec;
+        BindOptions bind;
+        bind.mode = spec.bind;
+        bind.restricted = spec.restricted;
+        bind.async_forwarding = spec.async_forwarding;
+        bind.cs_order = spec.cs_order;
+        bind.call_timeout = static_cast<SimDuration>(spec.call_timeout_us);
+        rt->proxy = rt->actor.nso->bind(service_name(spec.service), bind);
+        clients.push_back(std::move(rt));
+    }
+    scheduler.run_until(scheduler.now() + static_cast<SimDuration>(scenario.settle_us));
+
+    // -- overlapping peer groups ----------------------------------------------
+    const int total_servers = scenario.total_servers();
+    auto actor_nso = [&](int index) -> NewTopService& {
+        if (index < total_servers) return *servers[static_cast<std::size_t>(index)].nso;
+        return *clients[static_cast<std::size_t>(index - total_servers)]->actor.nso;
+    };
+    std::vector<PeerGroup> peer_handles;
+    for (std::size_t p = 0; p < scenario.peers.size(); ++p) {
+        const PeerSpec& peer = scenario.peers[p];
+        GroupConfig config;
+        config.order = peer.order;
+        config.liveness = LivenessMode::kLively;
+        const std::string name = "peer" + std::to_string(p);
+        for (const int member : peer.members) {
+            peer_handles.push_back(actor_nso(member).join_peer_group(
+                name, config, [](const NewTopService::PeerMessage&) {}));
+            scheduler.run_until(scheduler.now() + 300_ms);
+        }
+    }
+    scheduler.run_until(scheduler.now() + 500_ms);
+
+    // -- workload ------------------------------------------------------------
+    const SimTime start = scheduler.now();
+    std::function<void(std::size_t)> issue = [&](std::size_t i) {
+        ClientRt& rt = *clients[i];
+        if (rt.issued >= rt.spec->calls) return;
+        ++rt.issued;
+        Bytes payload(rt.spec->payload_bytes,
+                      static_cast<std::uint8_t>(rt.issued & 0xff));
+        rt.proxy.invoke(1, std::move(payload), rt.spec->mode, [&, i](const GroupReply&) {
+            ++rt.done;
+            scheduler.schedule_after(static_cast<SimDuration>(rt.spec->think_us),
+                                     [&, i] { issue(i); });
+        });
+    };
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        // Deterministic stagger so clients don't all fire on one tick.
+        scheduler.schedule_after(static_cast<SimDuration>(i) * 7'000, [&, i] { issue(i); });
+    }
+    // Peer publishes spread evenly over the workload window.
+    std::size_t handle = 0;
+    for (const PeerSpec& peer : scenario.peers) {
+        for (std::size_t m = 0; m < peer.members.size(); ++m, ++handle) {
+            for (int k = 0; k < peer.publishes_per_member; ++k) {
+                const SimDuration at = static_cast<SimDuration>(
+                    (static_cast<std::uint64_t>(k) + 1) * scenario.run_us /
+                    (static_cast<std::uint64_t>(peer.publishes_per_member) + 1));
+                PeerGroup* group = &peer_handles[handle];
+                scheduler.schedule_at(start + at, [group, k] {
+                    const std::string text = "chaos" + std::to_string(k);
+                    group->publish(Bytes(text.begin(), text.end()));
+                });
+            }
+        }
+    }
+
+    // -- fault plan -----------------------------------------------------------
+    std::set<std::uint64_t> exempt;  // endpoint ids of crashed clients
+    for (const FaultSpec& fault : scenario.faults) {
+        const SimTime at = start + static_cast<SimDuration>(fault.at_us);
+        switch (fault.kind) {
+            case FaultSpec::Kind::kCrashServer: {
+                Actor& server = servers[static_cast<std::size_t>(
+                    scenario.server_actor(fault.a, fault.b))];
+                NodeId node = server.orb->node_id();
+                scheduler.schedule_at(at, [&net, node] { net.crash(node); });
+                break;
+            }
+            case FaultSpec::Kind::kCrashClient: {
+                ClientRt& rt = *clients[static_cast<std::size_t>(fault.a)];
+                exempt.insert(rt.actor.nso->id().value());
+                NodeId node = rt.actor.orb->node_id();
+                scheduler.schedule_at(at, [&net, node] { net.crash(node); });
+                break;
+            }
+            case FaultSpec::Kind::kPartitionSite: {
+                const SiteId site(static_cast<SiteId::rep_type>(fault.a));
+                const int cell = fault.b;
+                scheduler.schedule_at(at, [&net, site, cell] { net.partition_site(site, cell); });
+                break;
+            }
+            case FaultSpec::Kind::kHeal:
+                scheduler.schedule_at(at, [&net] { net.heal(); });
+                break;
+            case FaultSpec::Kind::kLossBurst: {
+                const double loss = fault.loss;
+                scheduler.schedule_at(at, [&net, loss] { net.set_extra_loss(loss); });
+                scheduler.schedule_at(at + static_cast<SimDuration>(fault.duration_us),
+                                      [&net] { net.set_extra_loss(0.0); });
+                break;
+            }
+        }
+    }
+
+    // -- run + drain -----------------------------------------------------------
+    scheduler.run_until(start + static_cast<SimDuration>(scenario.run_us));
+    scheduler.run_until(scheduler.now() + static_cast<SimDuration>(scenario.drain_us));
+    // Bounded extra windows: a still-working scenario (slow rebind chains)
+    // gets time to finish; a genuine hang survives them and is reported.
+    for (int guard = 0; guard < 8; ++guard) {
+        bool all_done = true;
+        for (const auto& rt : clients) {
+            if (exempt.contains(rt->actor.nso->id().value())) continue;
+            all_done &= rt->done >= rt->spec->calls;
+        }
+        if (all_done) break;
+        scheduler.run_until(scheduler.now() + 5_s);
+    }
+
+    net.metrics().set_trace_sink(nullptr);
+    std::vector<obs::TraceEvent> events = sink.snapshot();
+    if (options.mutator) options.mutator(events);
+
+    // -- checks ----------------------------------------------------------------
+    obs::OracleOptions oracle_options;
+    for (std::size_t j = 0; j < scenario.services.size(); ++j) {
+        if (scenario.services[j].order != OrderMode::kCausal) continue;
+        const auto* info = directory.find_group(service_name(static_cast<int>(j)));
+        if (info != nullptr) oracle_options.causal_groups.insert(info->id.value());
+    }
+    for (std::size_t p = 0; p < scenario.peers.size(); ++p) {
+        if (scenario.peers[p].order != OrderMode::kCausal) continue;
+        const auto* info = directory.find_group("peer" + std::to_string(p));
+        if (info != nullptr) oracle_options.causal_groups.insert(info->id.value());
+    }
+
+    RunResult result;
+    result.seed = scenario.seed;
+    result.trace_events = static_cast<std::uint64_t>(events.size());
+    result.trace_dropped = sink.dropped();
+    result.violations = obs::ProtocolOracle(oracle_options).check(events);
+    result.liveness_failures = check_call_liveness(events, exempt);
+    if (options.keep_trace) result.trace = std::move(events);
+    return result;
+}
+
+}  // namespace newtop::fuzz

@@ -1,0 +1,274 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace newtop::fuzz {
+
+namespace {
+
+const char* order_name(OrderMode order) {
+    switch (order) {
+        case OrderMode::kTotalSymmetric: return "total_symmetric";
+        case OrderMode::kTotalAsymmetric: return "total_asymmetric";
+        case OrderMode::kCausal: return "causal";
+    }
+    return "?";
+}
+
+const char* mode_name(InvocationMode mode) {
+    switch (mode) {
+        case InvocationMode::kOneWay: return "one_way";
+        case InvocationMode::kWaitFirst: return "wait_first";
+        case InvocationMode::kWaitMajority: return "wait_majority";
+        case InvocationMode::kWaitAll: return "wait_all";
+    }
+    return "?";
+}
+
+void append_link(std::string& out, const LinkSpec& link) {
+    out += "{\"latency_us\":" + std::to_string(link.latency_us) +
+           ",\"jitter_us\":" + std::to_string(link.jitter_us) +
+           ",\"loss\":" + std::to_string(link.loss) +
+           ",\"bytes_per_us\":" + std::to_string(link.bytes_per_us) + "}";
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultSpec::Kind kind) {
+    switch (kind) {
+        case FaultSpec::Kind::kCrashServer: return "crash_server";
+        case FaultSpec::Kind::kCrashClient: return "crash_client";
+        case FaultSpec::Kind::kPartitionSite: return "partition_site";
+        case FaultSpec::Kind::kHeal: return "heal";
+        case FaultSpec::Kind::kLossBurst: return "loss_burst";
+    }
+    return "?";
+}
+
+int Scenario::total_servers() const {
+    int n = 0;
+    for (const ServiceSpec& s : services) n += static_cast<int>(s.server_sites.size());
+    return n;
+}
+
+int Scenario::server_actor(int service, int replica) const {
+    int base = 0;
+    for (int j = 0; j < service; ++j) {
+        base += static_cast<int>(services[static_cast<std::size_t>(j)].server_sites.size());
+    }
+    return base + replica;
+}
+
+std::string to_json(const Scenario& scenario) {
+    std::string out = "{\"seed\":" + std::to_string(scenario.seed);
+    out += ",\"sites\":" + std::to_string(scenario.sites);
+    out += ",\"lan\":";
+    append_link(out, scenario.lan);
+    out += ",\"wan\":";
+    append_link(out, scenario.wan);
+
+    out += ",\"services\":[";
+    for (std::size_t j = 0; j < scenario.services.size(); ++j) {
+        const ServiceSpec& svc = scenario.services[j];
+        if (j > 0) out += ',';
+        out += std::string("{\"order\":\"") + order_name(svc.order) + "\",\"liveness\":\"" +
+               (svc.liveness == LivenessMode::kLively ? "lively" : "event_driven") +
+               "\",\"server_sites\":[";
+        for (std::size_t k = 0; k < svc.server_sites.size(); ++k) {
+            if (k > 0) out += ',';
+            out += std::to_string(svc.server_sites[k]);
+        }
+        out += "]}";
+    }
+
+    out += "],\"clients\":[";
+    for (std::size_t i = 0; i < scenario.clients.size(); ++i) {
+        const ClientSpec& c = scenario.clients[i];
+        if (i > 0) out += ',';
+        out += "{\"site\":" + std::to_string(c.site) +
+               ",\"service\":" + std::to_string(c.service) + ",\"bind\":\"" +
+               (c.bind == BindMode::kClosed ? "closed" : "open") +
+               "\",\"restricted\":" + (c.restricted ? "true" : "false") +
+               ",\"async_forwarding\":" + (c.async_forwarding ? "true" : "false") +
+               ",\"cs_order\":\"" + order_name(c.cs_order) + "\",\"mode\":\"" +
+               mode_name(c.mode) + "\",\"calls\":" + std::to_string(c.calls) +
+               ",\"think_us\":" + std::to_string(c.think_us) +
+               ",\"payload_bytes\":" + std::to_string(c.payload_bytes) +
+               ",\"call_timeout_us\":" + std::to_string(c.call_timeout_us) + "}";
+    }
+
+    out += "],\"peers\":[";
+    for (std::size_t p = 0; p < scenario.peers.size(); ++p) {
+        const PeerSpec& peer = scenario.peers[p];
+        if (p > 0) out += ',';
+        out += std::string("{\"order\":\"") + order_name(peer.order) + "\",\"members\":[";
+        for (std::size_t k = 0; k < peer.members.size(); ++k) {
+            if (k > 0) out += ',';
+            out += std::to_string(peer.members[k]);
+        }
+        out += "],\"publishes_per_member\":" + std::to_string(peer.publishes_per_member) + "}";
+    }
+
+    out += "],\"faults\":[";
+    for (std::size_t f = 0; f < scenario.faults.size(); ++f) {
+        const FaultSpec& fault = scenario.faults[f];
+        if (f > 0) out += ',';
+        out += std::string("{\"kind\":\"") + fault_kind_name(fault.kind) +
+               "\",\"at_us\":" + std::to_string(fault.at_us) +
+               ",\"a\":" + std::to_string(fault.a) + ",\"b\":" + std::to_string(fault.b) +
+               ",\"loss\":" + std::to_string(fault.loss) +
+               ",\"duration_us\":" + std::to_string(fault.duration_us) + "}";
+    }
+
+    out += "],\"settle_us\":" + std::to_string(scenario.settle_us) +
+           ",\"run_us\":" + std::to_string(scenario.run_us) +
+           ",\"drain_us\":" + std::to_string(scenario.drain_us) + "}";
+    return out;
+}
+
+Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
+    NEWTOP_EXPECTS(limits_.max_sites >= 1 && limits_.max_services >= 1 &&
+                       limits_.max_servers >= 1 && limits_.max_clients >= 1 &&
+                       limits_.max_calls >= 2,
+                   "degenerate scenario limits");
+    Rng rng(seed);
+    Scenario s;
+    s.seed = seed;
+
+    // -- topology -----------------------------------------------------------
+    s.sites = static_cast<int>(rng.next_in(1, static_cast<std::uint64_t>(limits_.max_sites)));
+    s.lan.latency_us = rng.next_in(150, 400);
+    s.lan.jitter_us = rng.next_in(0, 60);
+    s.lan.loss = rng.next_bool(0.2) ? static_cast<double>(rng.next_in(1, 10)) / 1000.0 : 0.0;
+    s.lan.bytes_per_us = 12.5;
+    s.wan.latency_us = rng.next_in(2000, 8000);
+    s.wan.jitter_us = rng.next_in(100, 600);
+    s.wan.loss = rng.next_bool(0.3) ? static_cast<double>(rng.next_in(1, 20)) / 1000.0 : 0.0;
+    s.wan.bytes_per_us = 1.0;
+
+    auto random_site = [&] { return static_cast<int>(rng.next_in(0, static_cast<std::uint64_t>(s.sites - 1))); };
+
+    // -- group layout -------------------------------------------------------
+    const int services =
+        static_cast<int>(rng.next_in(1, static_cast<std::uint64_t>(limits_.max_services)));
+    for (int j = 0; j < services; ++j) {
+        ServiceSpec svc;
+        const double roll = rng.next_double();
+        svc.order = roll < 0.45   ? OrderMode::kTotalAsymmetric
+                    : roll < 0.90 ? OrderMode::kTotalSymmetric
+                                  : OrderMode::kCausal;
+        svc.liveness = rng.next_bool(0.5) ? LivenessMode::kLively : LivenessMode::kEventDriven;
+        const int replicas =
+            static_cast<int>(rng.next_in(1, static_cast<std::uint64_t>(limits_.max_servers)));
+        for (int k = 0; k < replicas; ++k) svc.server_sites.push_back(random_site());
+        s.services.push_back(std::move(svc));
+    }
+
+    // -- workload -----------------------------------------------------------
+    s.run_us = rng.next_in(5, 10) * 1'000'000;
+    const int clients =
+        static_cast<int>(rng.next_in(1, static_cast<std::uint64_t>(limits_.max_clients)));
+    std::uint64_t max_timeout = 0;
+    for (int i = 0; i < clients; ++i) {
+        ClientSpec c;
+        c.site = random_site();
+        c.service = static_cast<int>(rng.next_in(0, s.services.size() - 1));
+        c.bind = rng.next_bool(0.5) ? BindMode::kClosed : BindMode::kOpen;
+        if (c.bind == BindMode::kOpen) {
+            c.restricted = rng.next_bool(0.5);
+            c.async_forwarding = c.restricted && rng.next_bool(0.5);
+        }
+        c.cs_order =
+            rng.next_bool(0.5) ? OrderMode::kTotalAsymmetric : OrderMode::kTotalSymmetric;
+        const double roll = rng.next_double();
+        c.mode = roll < 0.15   ? InvocationMode::kOneWay
+                 : roll < 0.50 ? InvocationMode::kWaitFirst
+                 : roll < 0.75 ? InvocationMode::kWaitMajority
+                               : InvocationMode::kWaitAll;
+        c.calls = static_cast<int>(rng.next_in(2, static_cast<std::uint64_t>(limits_.max_calls)));
+        c.think_us = rng.next_in(0, 80) * 1000;
+        c.payload_bytes = static_cast<std::uint32_t>(rng.next_in(0, 256));
+        c.call_timeout_us = rng.next_in(2000, 6000) * 1000;
+        max_timeout = std::max(max_timeout, c.call_timeout_us);
+        s.clients.push_back(std::move(c));
+    }
+
+    // -- overlapping peer group ---------------------------------------------
+    const int actors = s.total_servers() + static_cast<int>(s.clients.size());
+    if (limits_.allow_peer_group && actors >= 2 && rng.next_bool(0.5)) {
+        PeerSpec peer;
+        const double roll = rng.next_double();
+        peer.order = roll < 0.40   ? OrderMode::kTotalSymmetric
+                     : roll < 0.80 ? OrderMode::kTotalAsymmetric
+                                   : OrderMode::kCausal;
+        const int size = static_cast<int>(
+            rng.next_in(2, static_cast<std::uint64_t>(std::min(actors, 4))));
+        std::vector<int> pool;
+        for (int k = 0; k < actors; ++k) pool.push_back(k);
+        for (int k = 0; k < size; ++k) {
+            const auto pick = rng.next_in(0, pool.size() - 1);
+            peer.members.push_back(pool[pick]);
+            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        std::sort(peer.members.begin(), peer.members.end());
+        peer.publishes_per_member = static_cast<int>(rng.next_in(1, 4));
+        s.peers.push_back(std::move(peer));
+    }
+
+    // -- fault plan ---------------------------------------------------------
+    if (limits_.allow_faults && limits_.max_faults > 0) {
+        const int faults =
+            static_cast<int>(rng.next_in(0, static_cast<std::uint64_t>(limits_.max_faults)));
+        std::vector<int> crashed_per_service(s.services.size(), 0);
+        bool crashed_client = false;
+        for (int f = 0; f < faults; ++f) {
+            FaultSpec fault;
+            fault.at_us = rng.next_in(0, s.run_us);
+            const double roll = rng.next_double();
+            if (roll < 0.35) {
+                // Crash a server replica, keeping at least one alive per
+                // service so most scenarios still complete calls.
+                const int j = static_cast<int>(rng.next_in(0, s.services.size() - 1));
+                const int replicas =
+                    static_cast<int>(s.services[static_cast<std::size_t>(j)].server_sites.size());
+                if (crashed_per_service[static_cast<std::size_t>(j)] >= replicas - 1) continue;
+                fault.kind = FaultSpec::Kind::kCrashServer;
+                fault.a = j;
+                fault.b = static_cast<int>(
+                    rng.next_in(0, static_cast<std::uint64_t>(replicas - 1)));
+                ++crashed_per_service[static_cast<std::size_t>(j)];
+            } else if (roll < 0.60 && s.sites >= 2) {
+                // Partition one site away, healing before the drain phase.
+                fault.kind = FaultSpec::Kind::kPartitionSite;
+                fault.a = random_site();
+                fault.b = 1;
+                FaultSpec heal;
+                heal.kind = FaultSpec::Kind::kHeal;
+                heal.at_us = std::min(fault.at_us + rng.next_in(1000, 4000) * 1000,
+                                      s.run_us + 1'000'000);
+                s.faults.push_back(heal);
+            } else if (roll < 0.85) {
+                fault.kind = FaultSpec::Kind::kLossBurst;
+                fault.loss = static_cast<double>(rng.next_in(50, 250)) / 1000.0;
+                fault.duration_us = rng.next_in(200, 1500) * 1000;
+            } else {
+                if (crashed_client || s.clients.size() < 2) continue;
+                fault.kind = FaultSpec::Kind::kCrashClient;
+                fault.a = static_cast<int>(rng.next_in(0, s.clients.size() - 1));
+                crashed_client = true;
+            }
+            s.faults.push_back(fault);
+        }
+        std::stable_sort(s.faults.begin(), s.faults.end(),
+                         [](const FaultSpec& x, const FaultSpec& y) { return x.at_us < y.at_us; });
+    }
+
+    s.settle_us = 2'000'000;
+    s.drain_us = max_timeout + 20'000'000;
+    return s;
+}
+
+}  // namespace newtop::fuzz

@@ -1,0 +1,147 @@
+// Randomized chaos-campaign scenarios (the deterministic fuzzer's input
+// model).
+//
+// A Scenario is a complete, self-contained experiment description: the
+// topology (sites and link characteristics), the group layout (server
+// groups, their replica placement and ordering protocols, an optional
+// peer group overlapping them), one workload spec per client (bind mode,
+// invocation mode, the §4.2 optimisations, call count, think time,
+// payload size, call timeout) and a fault plan (timed crashes, partitions
+// and heals, loss bursts).  ScenarioGenerator samples the whole thing from
+// one Rng seed, so a seed *is* a scenario — any campaign failure replays
+// from the seed alone (NEWTOP_FUZZ_SEED, tools/newtop_fuzz).
+//
+// Scenarios are plain data: the shrinker (src/fuzz/campaign.hpp) edits
+// them structurally (drop faults, clients, replicas, services) and re-runs
+// the result, and to_json() prints them for failure reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "invocation/types.hpp"
+
+namespace newtop::fuzz {
+
+/// One directionless link's characteristics (mirrors net::LinkParams, but
+/// in plain integers so scenarios serialize deterministically).
+struct LinkSpec {
+    std::uint64_t latency_us{250};
+    std::uint64_t jitter_us{30};
+    double loss{0.0};
+    double bytes_per_us{12.5};
+};
+
+/// One replicated service: a server group with `server_sites.size()`
+/// replicas, replica k living at site `server_sites[k]`.
+struct ServiceSpec {
+    OrderMode order{OrderMode::kTotalAsymmetric};
+    LivenessMode liveness{LivenessMode::kEventDriven};
+    std::vector<int> server_sites;
+};
+
+/// One client's bind + workload configuration.
+struct ClientSpec {
+    int site{0};
+    int service{0};  // index into Scenario::services
+    BindMode bind{BindMode::kOpen};
+    bool restricted{false};
+    bool async_forwarding{false};
+    OrderMode cs_order{OrderMode::kTotalAsymmetric};
+    InvocationMode mode{InvocationMode::kWaitFirst};
+    int calls{4};
+    std::uint64_t think_us{0};
+    std::uint32_t payload_bytes{8};
+    /// Always non-zero: the timeout is what turns "servers unreachable"
+    /// into a clean failure instead of a liveness hang.
+    std::uint64_t call_timeout_us{4'000'000};
+};
+
+/// An optional peer-participation group whose members are drawn from the
+/// scenario's server/client endpoints — deliberate group overlap.
+/// Member index k < total servers means "server replica k (flattened over
+/// services)"; otherwise "client k - total_servers".
+struct PeerSpec {
+    OrderMode order{OrderMode::kTotalSymmetric};
+    std::vector<int> members;
+    int publishes_per_member{2};
+};
+
+/// One timed fault.  `a`/`b` are kind-specific:
+///   kCrashServer   : a = service index, b = replica index
+///   kCrashClient   : a = client index
+///   kPartitionSite : a = site, b = partition cell
+///   kHeal          : (no operands) merge all cells
+///   kLossBurst     : extra drop probability `loss` for `duration_us`
+struct FaultSpec {
+    enum class Kind : std::uint8_t {
+        kCrashServer = 0,
+        kCrashClient = 1,
+        kPartitionSite = 2,
+        kHeal = 3,
+        kLossBurst = 4,
+    };
+    Kind kind{Kind::kCrashServer};
+    std::uint64_t at_us{0};  // relative to workload start
+    int a{0};
+    int b{0};
+    double loss{0.0};
+    std::uint64_t duration_us{0};
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultSpec::Kind kind);
+
+struct Scenario {
+    std::uint64_t seed{0};
+    int sites{1};
+    LinkSpec lan;
+    LinkSpec wan;
+    std::vector<ServiceSpec> services;
+    std::vector<ClientSpec> clients;
+    std::vector<PeerSpec> peers;
+    std::vector<FaultSpec> faults;
+    /// Sim-time phases: bindings settle, the workload (and fault plan)
+    /// runs, then the world drains until every call has terminated.
+    std::uint64_t settle_us{2'000'000};
+    std::uint64_t run_us{8'000'000};
+    std::uint64_t drain_us{15'000'000};
+
+    [[nodiscard]] int total_servers() const;
+    /// Flatten {service, replica} to the scenario-wide actor index used by
+    /// PeerSpec::members.
+    [[nodiscard]] int server_actor(int service, int replica) const;
+};
+
+/// Deterministic JSON rendering of a scenario, for failure reports.
+[[nodiscard]] std::string to_json(const Scenario& scenario);
+
+/// Bounds on the sampled configuration space.  The defaults match the CLI
+/// campaign; tests use smaller limits for a faster inner loop.
+struct ScenarioLimits {
+    int max_sites{3};
+    int max_services{2};
+    int max_servers{4};  // per service
+    int max_clients{4};
+    int max_calls{10};   // per client
+    int max_faults{3};
+    bool allow_faults{true};
+    bool allow_peer_group{true};
+};
+
+/// Samples one full Scenario from a seed.  Pure function of
+/// (seed, limits): same inputs, byte-identical scenario.
+class ScenarioGenerator {
+public:
+    explicit ScenarioGenerator(ScenarioLimits limits = {}) : limits_(limits) {}
+
+    [[nodiscard]] Scenario generate(std::uint64_t seed) const;
+
+    [[nodiscard]] const ScenarioLimits& limits() const { return limits_; }
+
+private:
+    ScenarioLimits limits_;
+};
+
+}  // namespace newtop::fuzz

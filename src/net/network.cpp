@@ -61,7 +61,9 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
         metrics_.add("net.wan_messages");
     }
 
-    if (rng_.next_bool(link.loss)) {
+    // The extra-loss draw only happens while a burst is active, so runs
+    // without bursts consume an unchanged random stream.
+    if (rng_.next_bool(link.loss) || (extra_loss_ > 0.0 && rng_.next_bool(extra_loss_))) {
         ++stats_.messages_lost;
         metrics_.add("net.messages_lost");
         metrics_.add(counters.drops);
@@ -117,5 +119,7 @@ void Network::partition_site(SiteId site, int cell) {
 }
 
 void Network::heal() { std::fill(partition_cell_.begin(), partition_cell_.end(), 0); }
+
+void Network::set_extra_loss(double p) { extra_loss_ = std::clamp(p, 0.0, 1.0); }
 
 }  // namespace newtop

@@ -64,6 +64,13 @@ public:
     /// Merge all cells back into one connected network.
     void heal();
 
+    // -- Loss bursts -------------------------------------------------------
+    // Chaos-style fault injection: an extra drop probability applied on top
+    // of every link's configured loss while non-zero.  Clamped to [0, 1].
+
+    void set_extra_loss(double p);
+    [[nodiscard]] double extra_loss() const { return extra_loss_; }
+
     [[nodiscard]] const Topology& topology() const { return topology_; }
     [[nodiscard]] const NetworkStats& stats() const { return stats_; }
     [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
@@ -86,6 +93,7 @@ private:
     Scheduler* scheduler_;
     Topology topology_;
     Rng rng_;
+    double extra_loss_{0.0};
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<int> partition_cell_;
     // Arrival time of the previous message per (from, to), for FIFO links.

@@ -33,19 +33,26 @@ const char* violation_kind_name(Violation::Kind kind) {
 std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& events) const {
     std::vector<Violation> out;
 
-    // One linear pass collects per-member delivery logs, per-member view
-    // install logs, and runs the reply-threshold accounting in stream
-    // order (a completion must be *preceded* by its replies).
-    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::uint64_t>> deliveries;
-    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::uint64_t>> installs;
+    // One linear pass collects each member's interleaved install/delivery
+    // timeline and runs the reply-threshold accounting in stream order (a
+    // completion must be *preceded* by its replies).  Keeping installs and
+    // deliveries interleaved matters: epoch numbers restart when a member
+    // is ejected and rejoins a re-formed group, so a delivery can only be
+    // attributed to a view by its *position* in the member's stream, never
+    // by its epoch number alone.
+    struct Entry {
+        bool install;         // true: view install, false: data delivery
+        std::uint64_t value;  // view detail or delivered ref
+    };
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Entry>> timeline;
     std::map<std::uint64_t, std::size_t> replies_by_trace;
     for (const TraceEvent& e : events) {
         switch (e.kind) {
             case TraceKind::kDataDelivered:
-                deliveries[{e.subject, e.actor}].push_back(e.detail);
+                timeline[{e.subject, e.actor}].push_back({false, e.detail});
                 break;
             case TraceKind::kViewInstalled:
-                installs[{e.subject, e.actor}].push_back(e.detail);
+                timeline[{e.subject, e.actor}].push_back({true, e.detail});
                 break;
             case TraceKind::kReplyCollected:
                 ++replies_by_trace[e.trace];
@@ -69,15 +76,50 @@ std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& even
         }
     }
 
-    // -- no duplicate delivery of one {epoch, sender, seq} ref ----------------
-    for (const auto& [key, refs] : deliveries) {
-        std::set<std::uint64_t> seen;
-        for (const std::uint64_t ref : refs) {
-            if (!seen.insert(ref).second) {
+    // -- per-member digestion of the timeline ---------------------------------
+    // A "window" is the stretch of a member's stream from one view install
+    // to the next.  Cut deliveries for the closing view are traced *before*
+    // the successor install, so they land in the window they logically
+    // belong to.  A "lineage" is a maximal run of strictly-increasing view
+    // epochs: an ejected member rejoining a re-formed group starts a new
+    // lineage whose epochs (and therefore seqnos) may collide with refs it
+    // delivered before — legitimate, and disambiguated by occurrence index.
+    struct Window {
+        std::uint64_t view;             // install detail opening the window
+        std::set<std::uint64_t> refs;   // deliveries whose epoch matches it
+    };
+    struct MemberLog {
+        std::vector<Window> windows;
+        // Every delivery in stream order, keyed {ref, occurrence}: the n-th
+        // delivery of one raw ref compares against the n-th elsewhere.
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> deliveries;
+    };
+    std::map<std::pair<std::uint64_t, std::uint64_t>, MemberLog> logs;
+    for (const auto& [key, entries] : timeline) {
+        MemberLog& log = logs[key];
+        std::map<std::uint64_t, std::uint32_t> occurrence;
+        std::set<std::uint64_t> in_lineage;  // refs delivered this lineage
+        std::uint64_t last_epoch = 0;
+        for (const Entry& entry : entries) {
+            if (entry.install) {
+                const std::uint64_t epoch = view_detail_epoch(entry.value);
+                if (epoch <= last_epoch) in_lineage.clear();  // rejoin lineage
+                last_epoch = epoch;
+                log.windows.push_back({entry.value, {}});
+                continue;
+            }
+            const std::uint64_t ref = entry.value;
+            log.deliveries.emplace_back(ref, occurrence[ref]++);
+            if (!in_lineage.insert(ref).second) {
                 out.push_back({Violation::Kind::kDuplicateDelivery,
                                "member " + std::to_string(key.second) + " delivered " +
                                    format_ref(ref) + " twice in group " +
                                    std::to_string(key.first)});
+            }
+            if (!log.windows.empty() &&
+                ((ref >> 48) & 0xffff) ==
+                    (view_detail_epoch(log.windows.back().view) & 0xffff)) {
+                log.windows.back().refs.insert(ref);
             }
         }
     }
@@ -86,19 +128,21 @@ std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& even
     // Pairwise: project member B's log onto the refs member A also
     // delivered and require A's positions to be strictly increasing.
     std::map<std::uint64_t, std::vector<std::uint64_t>> members_of;  // group -> actors
-    for (const auto& [key, refs] : deliveries) members_of[key.first].push_back(key.second);
+    for (const auto& [key, log] : logs) {
+        if (!log.deliveries.empty()) members_of[key.first].push_back(key.second);
+    }
     for (const auto& [group, members] : members_of) {
         if (options_.causal_groups.contains(group)) continue;
         for (std::size_t a = 0; a < members.size(); ++a) {
-            std::map<std::uint64_t, std::size_t> position;
-            const auto& log_a = deliveries.at({group, members[a]});
+            std::map<std::pair<std::uint64_t, std::uint32_t>, std::size_t> position;
+            const auto& log_a = logs.at({group, members[a]}).deliveries;
             for (std::size_t i = 0; i < log_a.size(); ++i) position.emplace(log_a[i], i);
             for (std::size_t b = a + 1; b < members.size(); ++b) {
-                const auto& log_b = deliveries.at({group, members[b]});
+                const auto& log_b = logs.at({group, members[b]}).deliveries;
                 std::size_t last = 0;
                 bool have_last = false;
                 std::uint64_t last_ref = 0;
-                for (const std::uint64_t ref : log_b) {
+                for (const auto& ref : log_b) {
                     const auto it = position.find(ref);
                     if (it == position.end()) continue;
                     if (have_last && it->second <= last) {
@@ -107,11 +151,11 @@ std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& even
                                            std::to_string(members[a]) + " and " +
                                            std::to_string(members[b]) +
                                            " disagree on the order of " + format_ref(last_ref) +
-                                           " vs " + format_ref(ref)});
+                                           " vs " + format_ref(ref.first)});
                         break;
                     }
                     last = it->second;
-                    last_ref = ref;
+                    last_ref = ref.first;
                     have_last = true;
                 }
             }
@@ -121,25 +165,25 @@ std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& even
     // -- virtual synchrony -----------------------------------------------------
     // A member's deliveries for view v are finalized when it installs v's
     // successor (the cut runs first), so every member sharing the same
-    // (v, v') transition must have delivered the same epoch(v) set.  A
-    // member's final view has no successor and is not checked — that is
-    // exactly the crash/partition allowance.
+    // (v, v') transition must have delivered the same epoch(v) set inside
+    // that window.  A member's final view has no successor and is not
+    // checked — that is exactly the crash/partition allowance.  The key
+    // carries an occurrence index so a transition that repeats in one
+    // member's stream (epoch reuse across lineages) matches instance-wise.
     struct TransitionKey {
         std::uint64_t group, from, to;
+        std::uint32_t occurrence;
         auto operator<=>(const TransitionKey&) const = default;
     };
     std::map<TransitionKey, std::map<std::uint64_t, std::set<std::uint64_t>>> transitions;
-    for (const auto& [key, views] : installs) {
-        const auto delivered = deliveries.find(key);
-        for (std::size_t i = 0; i + 1 < views.size(); ++i) {
-            const std::uint64_t epoch16 = view_detail_epoch(views[i]) & 0xffff;
-            std::set<std::uint64_t> in_view;
-            if (delivered != deliveries.end()) {
-                for (const std::uint64_t ref : delivered->second) {
-                    if (((ref >> 48) & 0xffff) == epoch16) in_view.insert(ref);
-                }
-            }
-            transitions[{key.first, views[i], views[i + 1]}][key.second] = std::move(in_view);
+    for (const auto& [key, log] : logs) {
+        std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> seen_transition;
+        for (std::size_t i = 0; i + 1 < log.windows.size(); ++i) {
+            const std::uint64_t from = log.windows[i].view;
+            const std::uint64_t to = log.windows[i + 1].view;
+            const std::uint32_t occurrence = seen_transition[{from, to}]++;
+            transitions[{key.first, from, to, occurrence}][key.second] =
+                log.windows[i].refs;
         }
     }
     for (const auto& [key, by_member] : transitions) {

@@ -8,7 +8,8 @@
 //                    the same relative order (causal-order groups exempt),
 //  * virtual synchrony — members that share the same pair of consecutive
 //                    views delivered the same message set between them,
-//  * no duplicates — no member delivers one {epoch, sender, seq} ref twice,
+//  * no duplicates — no member delivers one {epoch, sender, seq} ref twice
+//                    within a view lineage (epochs restart after a rejoin),
 //  * reply accounting — every completed two-way call saw at least the
 //                    per-mode minimum of kReplyCollected events first.
 //

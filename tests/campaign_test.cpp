@@ -1,0 +1,39 @@
+// Long-mode chaos campaign, built as its own test binary so it can carry
+// the "campaign"/"slow" ctest labels.  Seed count comes from the
+// NEWTOP_CAMPAIGN_SEEDS environment variable (default 200, the acceptance
+// bar); scripts/check.sh --campaign [N] drives it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fuzz/campaign.hpp"
+
+namespace newtop::fuzz {
+namespace {
+
+int seeds_from_env() {
+    const char* env = std::getenv("NEWTOP_CAMPAIGN_SEEDS");
+    if (env == nullptr || *env == '\0') return 200;
+    const int n = std::atoi(env);
+    return n > 0 ? n : 200;
+}
+
+TEST(ChaosCampaign, LongCampaignClean) {
+    CampaignOptions options;
+    options.base_seed = 1;
+    options.runs = seeds_from_env();
+    const CampaignResult result = CampaignRunner(options).run();
+    if (!result.ok()) {
+        // Make the failing seed impossible to miss in CI output.
+        ADD_FAILURE() << "\n=====================================================\n"
+                      << "FAILING SEED: " << result.first_failure->seed << "\n"
+                      << "replay with: NEWTOP_FUZZ_SEED=" << result.first_failure->seed
+                      << " newtop_fuzz\n"
+                      << "=====================================================\n"
+                      << result.report();
+    }
+    EXPECT_EQ(result.runs, seeds_from_env());
+}
+
+}  // namespace
+}  // namespace newtop::fuzz

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "invocation/envelope.hpp"
 #include "serial/serial.hpp"
 #include "util/rng.hpp"
 
@@ -169,6 +170,116 @@ TEST(Serial, RandomRecordRoundtripProperty) {
         EXPECT_EQ(u64s_out, u64s);
         EXPECT_EQ(strings_out, strings);
         EXPECT_TRUE(d.exhausted());
+    }
+}
+
+// -- invocation envelope round-trips -----------------------------------------
+// Property tests over every InvocationEnvelope variant: the envelopes have
+// no operator==, so round-trip fidelity is asserted as encode/decode/encode
+// byte stability (a lossy decode cannot re-encode to the same bytes).
+
+Bytes random_payload(Rng& rng, std::uint64_t max_len) {
+    Bytes out;
+    const auto len = rng.next_in(0, max_len);
+    out.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng.next_in(0, 255)));
+    }
+    return out;
+}
+
+CallId random_call(Rng& rng) {
+    return CallId{rng.next_u64(), rng.next_u64(), rng.next_bool(0.3)};
+}
+
+obs::SpanContext random_span(Rng& rng) {
+    return obs::SpanContext{rng.next_u64(), rng.next_u64()};
+}
+
+InvocationMode random_mode(Rng& rng) {
+    return static_cast<InvocationMode>(rng.next_in(0, 3));
+}
+
+void expect_stable_roundtrip(const InvocationEnvelope& env, int iter) {
+    const Bytes once = encode_envelope(env);
+    const InvocationEnvelope decoded = decode_envelope(once);
+    EXPECT_EQ(decoded.index(), env.index()) << "variant changed, iter " << iter;
+    const Bytes twice = encode_envelope(decoded);
+    EXPECT_EQ(once, twice) << "lossy round-trip, iter " << iter;
+}
+
+TEST(Serial, RequestEnvelopeRoundtripsUnderRandomPayloads) {
+    Rng rng(0xe1);
+    for (int iter = 0; iter < 200; ++iter) {
+        RequestEnv env;
+        env.call = random_call(rng);
+        env.span = random_span(rng);
+        env.mode = random_mode(rng);
+        env.flags = static_cast<std::uint8_t>(rng.next_in(0, 3));
+        env.server_group = GroupId(static_cast<GroupId::rep_type>(rng.next_in(0, 1000)));
+        env.bind = rng.next_bool(0.5) ? BindMode::kOpen : BindMode::kClosed;
+        env.method = static_cast<std::uint32_t>(rng.next_u64());
+        env.args = random_payload(rng, 512);
+        expect_stable_roundtrip(env, iter);
+    }
+}
+
+TEST(Serial, ForwardEnvelopeRoundtripsUnderRandomPayloads) {
+    Rng rng(0xe2);
+    for (int iter = 0; iter < 200; ++iter) {
+        ForwardEnv env;
+        env.call = random_call(rng);
+        env.span = random_span(rng);
+        env.mode = random_mode(rng);
+        env.flags = static_cast<std::uint8_t>(rng.next_in(0, 3));
+        env.manager = EndpointId(static_cast<EndpointId::rep_type>(rng.next_in(0, 1000)));
+        env.method = static_cast<std::uint32_t>(rng.next_u64());
+        env.args = random_payload(rng, 512);
+        expect_stable_roundtrip(env, iter);
+    }
+}
+
+TEST(Serial, ReplyEnvelopeRoundtripsUnderRandomPayloads) {
+    Rng rng(0xe3);
+    for (int iter = 0; iter < 200; ++iter) {
+        ReplyEnv env;
+        env.call = random_call(rng);
+        env.span = random_span(rng);
+        env.replier = EndpointId(static_cast<EndpointId::rep_type>(rng.next_in(0, 1000)));
+        env.ok = rng.next_bool(0.8);
+        env.value = random_payload(rng, 512);
+        expect_stable_roundtrip(env, iter);
+    }
+}
+
+TEST(Serial, AggregateEnvelopeRoundtripsUnderRandomPayloads) {
+    Rng rng(0xe4);
+    for (int iter = 0; iter < 200; ++iter) {
+        AggregateEnv env;
+        env.call = random_call(rng);
+        env.span = random_span(rng);
+        env.complete = rng.next_bool(0.7);
+        const auto replies = rng.next_in(0, 6);
+        for (std::uint64_t r = 0; r < replies; ++r) {
+            ReplyEntry entry;
+            entry.replier = EndpointId(static_cast<EndpointId::rep_type>(rng.next_in(0, 1000)));
+            entry.ok = rng.next_bool(0.9);
+            entry.value = random_payload(rng, 128);
+            env.replies.push_back(std::move(entry));
+        }
+        expect_stable_roundtrip(env, iter);
+    }
+}
+
+TEST(Serial, EnvelopeGarbageNeverCrashes) {
+    Rng rng(0xe5);
+    for (int iter = 0; iter < 500; ++iter) {
+        Bytes garbage = random_payload(rng, 96);
+        try {
+            (void)decode_envelope(garbage);
+        } catch (const DecodeError&) {
+            // expected for most inputs
+        }
     }
 }
 

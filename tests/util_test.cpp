@@ -118,6 +118,67 @@ TEST(Rng, SplitProducesIndependentStream) {
     EXPECT_NE(child.next_u64(), parent_copy.next_u64());
 }
 
+// -- statistical checks (the fuzzer's generator leans on these) -------------
+
+TEST(Rng, NextInCoversTheWholeRangeRoughlyUniformly) {
+    Rng rng(101);
+    constexpr std::uint64_t kBuckets = 10;
+    constexpr int kDraws = 20000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i) ++counts[rng.next_in(0, kBuckets - 1)];
+    const double expected = static_cast<double>(kDraws) / kBuckets;
+    for (std::uint64_t b = 0; b < kBuckets; ++b) {
+        EXPECT_GT(counts[b], 0) << "bucket " << b << " never hit";
+        // 5 sigma of a binomial(kDraws, 1/kBuckets) is ~212 here; a correct
+        // generator essentially never trips a +/-15% band at n=20000.
+        EXPECT_NEAR(static_cast<double>(counts[b]), expected, expected * 0.15)
+            << "bucket " << b;
+    }
+}
+
+TEST(Rng, NextBoolFrequencyTracksProbability) {
+    for (const double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+        Rng rng(static_cast<std::uint64_t>(p * 1000) + 7);
+        const int n = 20000;
+        int hits = 0;
+        for (int i = 0; i < n; ++i) hits += rng.next_bool(p) ? 1 : 0;
+        // 5 sigma of binomial(n, p) at n=20000 stays under 0.018 for all p.
+        EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02) << "p=" << p;
+    }
+}
+
+TEST(Rng, SplitStreamsAreStatisticallyIndependent) {
+    // Sibling streams split from one parent must neither collide nor
+    // correlate: pairwise-equal draws at the same index would show the
+    // split just cloned or lock-stepped the state.
+    Rng parent(77);
+    Rng a = parent.split();
+    Rng b = parent.split();
+    int equal = 0;
+    int bit_agreements = 0;
+    const int n = 4096;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t x = a.next_u64();
+        const std::uint64_t y = b.next_u64();
+        equal += x == y ? 1 : 0;
+        bit_agreements += (x & 1) == (y & 1) ? 1 : 0;
+    }
+    EXPECT_EQ(equal, 0);
+    // Low bits of independent streams agree about half the time.
+    EXPECT_NEAR(static_cast<double>(bit_agreements) / n, 0.5, 0.05);
+}
+
+TEST(Rng, SplitChildDoesNotPerturbParentDeterminism) {
+    // Two parents from one seed, one of which splits a child mid-stream:
+    // the split consumes exactly one parent draw, nothing else.
+    Rng plain(55);
+    Rng splitting(55);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(plain.next_u64(), splitting.next_u64());
+    (void)splitting.split();
+    (void)plain.next_u64();  // account for the split's single draw
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(plain.next_u64(), splitting.next_u64());
+}
+
 TEST(Check, ExpectsThrowsPreconditionError) {
     EXPECT_THROW(NEWTOP_EXPECTS(false, "must hold"), PreconditionError);
     EXPECT_NO_THROW(NEWTOP_EXPECTS(true, "must hold"));

@@ -1,0 +1,117 @@
+// newtop_fuzz — the deterministic chaos-campaign driver.
+//
+//   newtop_fuzz --seeds 200              # campaign over seeds [1, 201)
+//   newtop_fuzz --seeds 200 --base 1000  # different seed block
+//   newtop_fuzz --seed 1234              # replay one seed (prints scenario)
+//   NEWTOP_FUZZ_SEED=1234 newtop_fuzz    # same, the one-command CI replay
+//
+// Every scenario is a pure function of its seed, so a failing seed printed
+// by CI reproduces locally with the env-var form alone.  On failure the
+// driver replays and shrinks the scenario (drop faults / clients / groups
+// while the violation persists) and prints the minimal reproducer as JSON.
+// Exit status: 0 = all runs clean, 1 = violation found, 2 = bad usage.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: newtop_fuzz [--seeds N] [--base B] [--seed S] [--no-shrink]\n"
+                 "                   [--print]\n"
+                 "  --seeds N     run a campaign over N consecutive seeds (default 50)\n"
+                 "  --base B      first seed of the campaign block (default 1)\n"
+                 "  --seed S      run exactly one seed (also: NEWTOP_FUZZ_SEED env)\n"
+                 "  --no-shrink   report the raw failing scenario without minimising\n"
+                 "  --print       print each generated scenario as JSON before running\n"
+                 "  --dump        on failure, print the failing run's full trace stream\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using newtop::fuzz::CampaignOptions;
+    using newtop::fuzz::CampaignRunner;
+    using newtop::fuzz::Scenario;
+    using newtop::fuzz::ScenarioGenerator;
+
+    CampaignOptions options;
+    options.runs = 50;
+    bool print_scenarios = false;
+    std::optional<std::uint64_t> single_seed;
+    if (const char* env = std::getenv("NEWTOP_FUZZ_SEED"); env != nullptr && *env != '\0') {
+        single_seed = std::strtoull(env, nullptr, 10);
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--seeds") {
+            const char* v = next_value();
+            if (v == nullptr) return usage();
+            options.runs = std::atoi(v);
+        } else if (arg == "--base") {
+            const char* v = next_value();
+            if (v == nullptr) return usage();
+            options.base_seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--seed") {
+            const char* v = next_value();
+            if (v == nullptr) return usage();
+            single_seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--no-shrink") {
+            options.shrink = false;
+        } else if (arg == "--print") {
+            print_scenarios = true;
+        } else if (arg == "--dump") {
+            options.run.keep_trace = true;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return usage();
+        }
+    }
+    if (options.runs <= 0) return usage();
+
+    if (single_seed.has_value()) {
+        options.base_seed = *single_seed;
+        options.runs = 1;
+    }
+
+    const ScenarioGenerator generator(options.limits);
+    int completed = 0;
+    options.on_run = [&](const newtop::fuzz::RunResult& run) {
+        ++completed;
+        if (print_scenarios) {
+            std::cout << "# scenario " << to_json(generator.generate(run.seed)) << "\n";
+        }
+        if (completed % 25 == 0 || completed == options.runs) {
+            std::cout << "[" << completed << "/" << options.runs << "] seed " << run.seed
+                      << (run.ok() ? " ok" : " FAILED") << " (" << run.trace_events
+                      << " events)\n";
+        }
+    };
+
+    const CampaignRunner runner(options);
+    const newtop::fuzz::CampaignResult result = runner.run();
+    std::cout << result.report();
+    if (options.run.keep_trace && result.first_failure.has_value()) {
+        for (const auto& e : result.first_failure->trace) {
+            std::cout << e.at << " " << newtop::obs::trace_kind_name(e.kind) << " actor="
+                      << e.actor << " subject=" << e.subject << " detail=" << e.detail
+                      << " trace=" << e.trace << "\n";
+        }
+    }
+    if (!result.ok()) {
+        std::cout << "=====================================================\n"
+                  << "FAILING SEED: " << result.first_failure->seed << "\n"
+                  << "replay with: NEWTOP_FUZZ_SEED=" << result.first_failure->seed
+                  << " newtop_fuzz\n"
+                  << "=====================================================\n";
+        return 1;
+    }
+    return 0;
+}
