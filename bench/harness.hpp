@@ -160,6 +160,7 @@ private:
     RequestReplyResult execute() {
         // NEWTOP_TRACE_OUT=<dir> installs a bounded ring sink for the whole
         // experiment and writes a Perfetto-loadable JSON per run.
+        // newtop-lint: allow(getenv): export destination only; cannot influence simulated behaviour
         const char* trace_dir = std::getenv("NEWTOP_TRACE_OUT");
         std::unique_ptr<obs::RingTraceSink> trace_sink;
         if (trace_dir != nullptr && *trace_dir != '\0') {

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Full local check: build + tier-1 ctest on the plain tree, then again with
-# AddressSanitizer + UBSan (the NEWTOP_SANITIZE cmake option), so the
-# sanitizer configuration is exercised routinely rather than manually.
+# Full local check: build + tier-1 ctest (which includes the newtop_lint
+# whole-tree scan) on the plain tree, then again with AddressSanitizer +
+# UBSan (the NEWTOP_SANITIZE cmake option), so the sanitizer configuration
+# is exercised routinely rather than manually.  Both trees build with
+# NEWTOP_WERROR=ON (the default).
 #
-# Usage: scripts/check.sh [--campaign [N]] [extra ctest args...]
+# Usage: scripts/check.sh [--lint] [--tidy] [--campaign [N]] [extra ctest args...]
 #
 #   (default)        run the tier-1 suite (ctest -L tier1) in both trees
+#   --lint           fast path: build only newtop_lint and scan the tree,
+#                    then run scripts/format.sh --check; no tests
+#   --tidy           additionally build a clang-tidy tree (build-tidy,
+#                    -DNEWTOP_CLANG_TIDY=ON); skipped with a notice when
+#                    clang-tidy is not installed
 #   --campaign [N]   additionally run the chaos campaign over N seeds
 #                    (default 200) in both trees.  On failure the campaign
 #                    prints the failing seed; replay it with
@@ -15,17 +22,45 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+LINT_ONLY=0
+TIDY=0
 CAMPAIGN=0
 CAMPAIGN_SEEDS=200
-if [[ "${1:-}" == "--campaign" ]]; then
-    CAMPAIGN=1
-    shift
-    if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
-        CAMPAIGN_SEEDS="$1"
-        shift
-    fi
-fi
+while [[ "${1:-}" == --* ]]; do
+    case "$1" in
+        --lint)
+            LINT_ONLY=1
+            shift
+            ;;
+        --tidy)
+            TIDY=1
+            shift
+            ;;
+        --campaign)
+            CAMPAIGN=1
+            shift
+            if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
+                CAMPAIGN_SEEDS="$1"
+                shift
+            fi
+            ;;
+        *)
+            break
+            ;;
+    esac
+done
 EXTRA_CTEST_ARGS=("$@")
+
+if [[ "${LINT_ONLY}" == 1 ]]; then
+    echo "== newtop_lint (build)"
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "${JOBS}" --target newtop_lint
+    build/tools/newtop_lint --root .
+    echo "== format check"
+    scripts/format.sh --check
+    echo "== lint checks passed"
+    exit 0
+fi
 
 run_tree() {
     local dir="$1"
@@ -34,6 +69,8 @@ run_tree() {
     cmake -B "${dir}" -S . "$@" >/dev/null
     echo "== build ${dir}"
     cmake --build "${dir}" -j "${JOBS}"
+    echo "== newtop_lint ${dir}"
+    "${dir}/tools/newtop_lint" --root .
     echo "== ctest ${dir} (tier1)"
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L tier1 \
         "${EXTRA_CTEST_ARGS[@]}"
@@ -49,5 +86,18 @@ run_tree() {
 
 run_tree build
 run_tree build-asan -DNEWTOP_SANITIZE=address,undefined
+
+if [[ "${TIDY}" == 1 ]]; then
+    if command -v clang-tidy >/dev/null 2>&1; then
+        echo "== clang-tidy tree (build-tidy)"
+        cmake -B build-tidy -S . -DNEWTOP_CLANG_TIDY=ON >/dev/null
+        cmake --build build-tidy -j "${JOBS}"
+    else
+        echo "== clang-tidy not installed; skipping --tidy tree"
+    fi
+fi
+
+echo "== format check"
+scripts/format.sh --check
 
 echo "== all checks passed"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# clang-format over *changed* files only (the tree predates .clang-format;
+# a mass reformat would bury real history, so only touched files must
+# conform).
+#
+# Usage:
+#   scripts/format.sh            reformat changed files in place
+#   scripts/format.sh --check    fail (exit 1) if any changed file needs
+#                                reformatting — the mode CI runs
+#
+# "Changed" = files added/modified vs the merge-base with origin/main (or
+# HEAD when that ref is unavailable), plus staged and unstaged edits.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+    CHECK=1
+    shift
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format.sh: clang-format not found; skipping (install it to enable this check)" >&2
+    exit 0
+fi
+
+BASE="HEAD"
+if git rev-parse --verify -q origin/main >/dev/null; then
+    BASE="$(git merge-base HEAD origin/main)"
+fi
+
+mapfile -t FILES < <(
+    {
+        git diff --name-only --diff-filter=ACMR "${BASE}"
+        git diff --name-only --diff-filter=ACMR --cached
+        git ls-files --others --exclude-standard
+    } | sort -u | grep -E '\.(hpp|cpp|h|cc)$' | grep -v '^tests/lint_fixtures/' || true
+)
+
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+    echo "format.sh: no changed C++ files"
+    exit 0
+fi
+
+if [[ "${CHECK}" == 1 ]]; then
+    FAILED=0
+    for f in "${FILES[@]}"; do
+        [[ -f "$f" ]] || continue
+        if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+            echo "format.sh: needs formatting: $f"
+            FAILED=1
+        fi
+    done
+    if [[ "${FAILED}" == 1 ]]; then
+        echo "format.sh: run scripts/format.sh to fix" >&2
+        exit 1
+    fi
+    echo "format.sh: ${#FILES[@]} changed file(s) clean"
+else
+    for f in "${FILES[@]}"; do
+        [[ -f "$f" ]] || continue
+        clang-format -i "$f"
+    done
+    echo "format.sh: formatted ${#FILES[@]} file(s)"
+fi

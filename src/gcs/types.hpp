@@ -4,7 +4,7 @@
 
 #include <cstdint>
 
-#include "sim/time.hpp"
+#include "util/time.hpp"
 #include "util/strong_id.hpp"
 
 namespace newtop {

@@ -5,7 +5,7 @@
 
 #include "net/calibration.hpp"
 #include "orb/servant.hpp"  // for ServantError
-#include "sim/time.hpp"
+#include "util/time.hpp"
 #include "util/bytes.hpp"
 
 namespace newtop {

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "gcs/types.hpp"
-#include "sim/time.hpp"
+#include "util/time.hpp"
 #include "util/bytes.hpp"
 
 namespace newtop {

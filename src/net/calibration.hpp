@@ -13,7 +13,7 @@
 #pragma once
 
 #include "net/topology.hpp"
-#include "sim/time.hpp"
+#include "util/time.hpp"
 
 namespace newtop::calibration {
 

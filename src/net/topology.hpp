@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "net/ids.hpp"
-#include "sim/time.hpp"
+#include "util/time.hpp"
 
 namespace newtop {
 

@@ -14,7 +14,7 @@
 #include <string_view>
 
 #include "obs/trace.hpp"
-#include "sim/time.hpp"
+#include "util/time.hpp"
 
 namespace newtop::obs {
 

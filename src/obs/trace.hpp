@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/time.hpp"
+#include "util/time.hpp"
 
 namespace newtop::obs {
 

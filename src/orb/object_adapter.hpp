@@ -1,9 +1,9 @@
 // Object adapter: the per-node registry mapping object keys to servants.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "net/ids.hpp"
 #include "orb/ior.hpp"
@@ -28,7 +28,9 @@ public:
 private:
     NodeId node_;
     ObjectKey::rep_type next_key_{1};
-    std::unordered_map<ObjectKey, std::shared_ptr<Servant>> servants_;
+    // Keyed in activation order; deterministic should anyone ever enumerate
+    // active servants (e.g. node-shutdown sweeps).
+    std::map<ObjectKey, std::shared_ptr<Servant>> servants_;
 };
 
 }  // namespace newtop

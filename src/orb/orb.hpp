@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "net/network.hpp"
 #include "orb/ior.hpp"
@@ -83,7 +83,9 @@ private:
     NodeId node_;
     ObjectAdapter adapter_;
     std::uint64_t next_request_id_{1};
-    std::unordered_map<std::uint64_t, Pending> pending_;
+    // Ordered by request id so iteration (timeout sweeps, drain-on-shutdown)
+    // can never leak hash-table layout into completion or trace order.
+    std::map<std::uint64_t, Pending> pending_;
 };
 
 }  // namespace newtop

@@ -6,7 +6,7 @@
 #include <string>
 
 #include "net/calibration.hpp"
-#include "sim/time.hpp"
+#include "util/time.hpp"
 #include "util/bytes.hpp"
 
 namespace newtop {

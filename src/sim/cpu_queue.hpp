@@ -10,7 +10,7 @@
 #include <functional>
 
 #include "sim/scheduler.hpp"
-#include "sim/time.hpp"
+#include "util/time.hpp"
 
 namespace newtop {
 

@@ -9,10 +9,10 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
-#include "sim/time.hpp"
+#include "util/time.hpp"
 
 namespace newtop {
 
@@ -78,7 +78,9 @@ private:
     std::uint64_t next_seq_{0};
     TimerId next_id_{1};
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
-    std::unordered_set<TimerId> cancelled_;
+    // Ordered (not hashed) so that any future iteration — e.g. draining or
+    // introspecting cancelled timers — is deterministic by construction.
+    std::set<TimerId> cancelled_;
 };
 
 }  // namespace newtop

@@ -3,6 +3,10 @@
 // All timestamps and durations in the simulation are integral microseconds.
 // Integral time keeps event ordering exact and results bit-reproducible
 // across platforms (no floating-point accumulation drift).
+//
+// Lives in util/ (not sim/) because every layer — including obs, which sim
+// itself depends on for metrics — needs the time vocabulary; keeping it here
+// keeps the layer graph acyclic (see tools/lint_rules.hpp).
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,7 @@ namespace newtop::fuzz {
 namespace {
 
 int seeds_from_env() {
+    // newtop-lint: allow(getenv): seed-budget knob read once at startup, outside any scenario
     const char* env = std::getenv("NEWTOP_CAMPAIGN_SEEDS");
     if (env == nullptr || *env == '\0') return 200;
     const int n = std::atoi(env);

@@ -13,6 +13,7 @@
 
 #include "net/calibration.hpp"
 #include "newtop/newtop_service.hpp"
+#include "orb/orb.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -111,6 +112,92 @@ TEST(Determinism, DifferentSeedsDiverge) {
     const std::string a = run_scenario(1);
     const std::string b = run_scenario(2);
     EXPECT_NE(a, b);
+}
+
+// -- container-order regression -------------------------------------------------------
+
+/// Runtime companion to newtop_lint's `unordered-container` / `pointer-key`
+/// rules.  Orb::pending_, ObjectAdapter::servants_ and Scheduler::cancelled_
+/// used to be hash containers; any code iterating them could leak memory
+/// layout into completion order.  This scenario churns all three — pending
+/// calls with timeouts and cancellations, servant deactivate/re-activate,
+/// IOGR failover — and runs twice in one process, so the second run sees a
+/// different heap layout: an address-ordered sweep would diverge here.
+/// (Hash iteration over *integral* keys repeats identically within a
+/// process, which is exactly why that class is enforced by the lint rather
+/// than sampled by this test.)
+class ChurnServant : public Servant {
+public:
+    explicit ChurnServant(int id) : id_(id) {}
+    Bytes dispatch(std::uint32_t, const Bytes& args) override {
+        Bytes out = args;
+        out.push_back(static_cast<std::uint8_t>(id_));
+        return out;
+    }
+
+private:
+    int id_;
+};
+
+std::string run_orb_churn(std::uint64_t seed) {
+    Scheduler scheduler;
+    Network net(scheduler, calibration::make_lan_topology(), seed);
+    Orb client(net, net.add_node(SiteId(0)));
+    std::vector<std::unique_ptr<Orb>> servers;
+    std::vector<Ior> targets;
+    for (int s = 0; s < 3; ++s) {
+        servers.push_back(std::make_unique<Orb>(net, net.add_node(SiteId(0))));
+        targets.push_back(
+            servers.back()->adapter().activate(std::make_shared<ChurnServant>(s), "Churn"));
+    }
+
+    std::ostringstream history;
+    auto record = [&](int call, ReplyStatus s, const Bytes& payload) {
+        history << call << '@' << scheduler.now() << ':' << static_cast<int>(s) << ':'
+                << payload.size() << '\n';
+    };
+
+    std::vector<OrbCallId> cancellable;
+    for (int k = 0; k < 40; ++k) {
+        const int which = k % 3;
+        const OrbCallId id = client.invoke(
+            targets[which], kEcho, encode_to_bytes(std::string("m") + std::to_string(k)),
+            [&, k](ReplyStatus s, const Bytes& p) { record(k, s, p); },
+            /*timeout=*/(k % 5 == 0) ? 2_ms : 80_ms);
+        if (k % 7 == 0) cancellable.push_back(id);
+        if (k % 11 == 3) {
+            // Servant churn: kill and replace the target in place.
+            servers[which]->adapter().deactivate(targets[which].key);
+            targets[which] = servers[which]->adapter().activate(
+                std::make_shared<ChurnServant>(which + 10), "Churn");
+        }
+        if (k % 9 == 4) scheduler.run_until(scheduler.now() + 1_ms);
+    }
+    for (OrbCallId id : cancellable) client.cancel(id);
+
+    // IOGR failover sweeps across the (partially replaced) members.
+    Iogr group;
+    group.members = targets;
+    group.primary_index = 1;
+    for (int k = 0; k < 5; ++k) {
+        client.invoke_group(
+            group, kEcho, encode_to_bytes(std::string("g") + std::to_string(k)),
+            [&, k](ReplyStatus s, const Bytes& p) { record(100 + k, s, p); }, 5_ms);
+    }
+    scheduler.run_until(scheduler.now() + 2_s);
+    history << "msgs=" << net.stats().messages_sent << " t=" << scheduler.now();
+    return history.str();
+}
+
+TEST(Determinism, OrbChurnReproducibleAcrossHeapLayouts) {
+    const std::string a = run_orb_churn(77);
+    // Perturb the heap between the runs so any address-dependent ordering
+    // inside the ORB or scheduler would see a different layout.
+    std::vector<std::unique_ptr<int>> ballast;
+    for (int i = 0; i < 1024; ++i) ballast.push_back(std::make_unique<int>(i));
+    const std::string b = run_orb_churn(77);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find('@'), std::string::npos);  // some completions actually ran
 }
 
 // -- public API edges -----------------------------------------------------------------

@@ -1,0 +1,11 @@
+// Lint fixture: a suppression without the mandatory reason string; must
+// produce a `bad-suppression` finding AND leave the original violation
+// unsuppressed.  Never compiled.
+namespace fixture {
+
+struct LookupCache {
+    // newtop-lint: allow(unordered-container)
+    std::unordered_map<unsigned long long, int> by_id;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Lint fixture: must pass every rule when scanned as a src/sim/ path.
+// Deterministic containers, seeded randomness, sim time only.  Never compiled.
+#include <map>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace fixture {
+
+struct Ledger {
+    std::map<unsigned long long, double> totals;
+    std::set<unsigned long long> seen;
+};
+
+double jittered(double base, unsigned long long seed) {
+    newtop::Rng rng(seed);
+    return base * (0.9 + 0.2 * rng.next_double());
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Lint fixture: must trigger `getenv` exactly once.  Never compiled.
+#include <cstdlib>
+
+namespace fixture {
+
+const char* home_dir() { return std::getenv("HOME"); }
+
+}  // namespace fixture

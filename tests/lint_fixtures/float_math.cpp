@@ -1,0 +1,10 @@
+// Lint fixture: must trigger `float-sim` exactly once when scanned as a
+// src/ path.  Never compiled.
+namespace fixture {
+
+double utilisation(long long busy_us, long long total_us) {
+    const float ratio = static_cast<double>(busy_us) / static_cast<double>(total_us);
+    return ratio;  // silent double -> float -> double round trip
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Lint fixture: must trigger `layer-dag` exactly once when scanned as a
+// src/sim/ path (sim may not reach up into the ORB).  Never compiled.
+#include "orb/orb.hpp"
+#include "util/check.hpp"
+
+namespace fixture {
+
+void poke_orb() {}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Lint fixture: must trigger `pointer-key` exactly once.  Never compiled.
+#include <map>
+
+namespace fixture {
+
+struct Session {};
+
+struct Tracker {
+    // Ordered by allocation address, i.e. not ordered at all across runs.
+    std::map<const Session*, int> refcounts;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Lint fixture: must trigger `raw-random` exactly once.  Never compiled.
+#include <random>
+
+namespace fixture {
+
+int roll() {
+    std::mt19937 gen(42);
+    return static_cast<int>(gen() % 6U) + 1;
+}
+
+}  // namespace fixture

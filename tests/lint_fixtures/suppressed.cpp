@@ -1,0 +1,15 @@
+// Lint fixture: a violation silenced by a well-formed suppression comment;
+// must produce zero findings.  Never compiled.
+namespace fixture {
+
+struct LookupCache {
+    // newtop-lint: allow(unordered-container): lookup-only table, never iterated; order cannot escape
+    std::unordered_map<unsigned long long, int> by_id;
+
+    int find(unsigned long long id) const {
+        const auto it = by_id.find(id);
+        return it == by_id.end() ? -1 : it->second;
+    }
+};
+
+}  // namespace fixture

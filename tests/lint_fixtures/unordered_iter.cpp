@@ -1,0 +1,18 @@
+// Lint fixture: must trigger `unordered-container` exactly once when scanned
+// as a protocol/trace-visible path.  Never compiled.
+namespace fixture {
+
+struct Registry {
+    std::unordered_map<int, int> by_hash;  // the violation: layout-ordered
+};
+
+int sum_all(const Registry& reg) {
+    int total = 0;
+    // The iteration below is what actually leaks hash layout into whatever
+    // the caller does with `total`-adjacent side effects; the declaration
+    // above is where the rule anchors.
+    for (const auto& [key, value] : reg.by_hash) total += value;
+    return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Lint fixture: must trigger `wall-clock` exactly once.  Never compiled.
+#include <chrono>
+
+namespace fixture {
+
+long long now_us() {
+    const auto t = std::chrono::system_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,577 @@
+#include "tools/lint_scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "tools/lint_rules.hpp"
+
+namespace newtop::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdentifier, kNumber, kString, kPunct };
+
+struct Token {
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+struct Lexed {
+    std::vector<Token> tokens;
+    std::map<int, std::string> comments;  // line -> concatenated comment text
+    std::set<int> code_lines;             // lines that carry at least one token
+};
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Raw-string-literal prefixes: R, u8R, uR, UR, LR.
+bool is_raw_prefix(std::string_view id) {
+    return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+Lexed lex(std::string_view src) {
+    Lexed out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto append_comment = [&out](int at, std::string_view text) {
+        auto& slot = out.comments[at];
+        if (!slot.empty()) slot += ' ';
+        slot.append(text);
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const std::size_t start = i + 2;
+            std::size_t end = src.find('\n', start);
+            if (end == std::string_view::npos) end = n;
+            append_comment(line, src.substr(start, end - start));
+            i = end;
+            continue;
+        }
+        // Block comment (credited to its opening line; suppressions must not
+        // span blocks, so only that line's text matters).
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const int start_line = line;
+            std::size_t end = src.find("*/", i + 2);
+            if (end == std::string_view::npos) end = n;
+            const std::string_view body = src.substr(i + 2, end - (i + 2));
+            append_comment(start_line, body);
+            line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+            i = (end == n) ? n : end + 2;
+            continue;
+        }
+        // String literal.
+        if (c == '"') {
+            const int start_line = line;
+            std::string text;
+            ++i;
+            while (i < n && src[i] != '"' && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n) {
+                    text += src[i];
+                    text += src[i + 1];
+                    i += 2;
+                    continue;
+                }
+                text += src[i++];
+            }
+            if (i < n && src[i] == '"') ++i;
+            out.tokens.push_back({TokKind::kString, std::move(text), start_line});
+            out.code_lines.insert(start_line);
+            continue;
+        }
+        // Character literal.
+        if (c == '\'') {
+            ++i;
+            while (i < n && src[i] != '\'' && src[i] != '\n') {
+                i += (src[i] == '\\' && i + 1 < n) ? 2 : 1;
+            }
+            if (i < n && src[i] == '\'') ++i;
+            out.code_lines.insert(line);
+            continue;
+        }
+        // Identifier / keyword (and raw-string detection).
+        if (is_ident_start(c)) {
+            std::size_t j = i + 1;
+            while (j < n && is_ident_char(src[j])) ++j;
+            std::string id(src.substr(i, j - i));
+            if (is_raw_prefix(id) && j < n && src[j] == '"') {
+                // R"delim( ... )delim"
+                std::size_t p = j + 1;
+                std::string delim;
+                while (p < n && src[p] != '(') delim += src[p++];
+                const std::string closer = ")" + delim + "\"";
+                std::size_t end = src.find(closer, p);
+                if (end == std::string_view::npos) end = n;
+                const std::string_view body = src.substr(i, std::min(end + closer.size(), n) - i);
+                out.tokens.push_back({TokKind::kString, std::string(body), line});
+                out.code_lines.insert(line);
+                line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+                i = std::min(end + closer.size(), n);
+                continue;
+            }
+            out.tokens.push_back({TokKind::kIdentifier, std::move(id), line});
+            out.code_lines.insert(line);
+            i = j;
+            continue;
+        }
+        // Number (loose: suffixes, hex, separators, exponents).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            while (j < n && (is_ident_char(src[j]) || src[j] == '.' || src[j] == '\'')) ++j;
+            out.tokens.push_back({TokKind::kNumber, std::string(src.substr(i, j - i)), line});
+            out.code_lines.insert(line);
+            i = j;
+            continue;
+        }
+        // Punctuation; `::` and `->` kept whole, everything else single-char.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            out.tokens.push_back({TokKind::kPunct, "::", line});
+            out.code_lines.insert(line);
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            out.tokens.push_back({TokKind::kPunct, "->", line});
+            out.code_lines.insert(line);
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+        out.code_lines.insert(line);
+        ++i;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers over the token stream and rule tables.
+// ---------------------------------------------------------------------------
+
+template <typename Table>
+bool in_table(const Table& table, std::string_view s) {
+    for (std::string_view entry : table) {
+        if (!entry.empty() && entry == s) return true;
+    }
+    return false;
+}
+
+bool has_prefix_in(std::string_view path, const auto& prefixes) {
+    for (std::string_view p : prefixes) {
+        if (path.substr(0, p.size()) == p) return true;
+    }
+    return false;
+}
+
+/// Layer of a src/ file ("" when the file is outside src/).
+std::string_view layer_of(std::string_view rel_path) {
+    constexpr std::string_view kSrc = "src/";
+    if (rel_path.substr(0, kSrc.size()) != kSrc) return {};
+    const std::string_view rest = rel_path.substr(kSrc.size());
+    const std::size_t slash = rest.find('/');
+    return slash == std::string_view::npos ? std::string_view{} : rest.substr(0, slash);
+}
+
+const LayerDeps* find_layer(std::string_view layer) {
+    for (const LayerDeps& entry : kLayerTable) {
+        if (entry.layer == layer) return &entry;
+    }
+    return nullptr;
+}
+
+struct Include {
+    int line;
+    std::string path;
+    bool quoted;
+};
+
+/// Recognise `# include <...>` / `# include "..."` token runs.
+std::vector<Include> find_includes(const Lexed& lx) {
+    std::vector<Include> out;
+    const auto& t = lx.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind != TokKind::kPunct || t[i].text != "#") continue;
+        if (t[i + 1].kind != TokKind::kIdentifier || t[i + 1].text != "include") continue;
+        if (t[i + 1].line != t[i].line) continue;
+        const Token& arg = t[i + 2];
+        if (arg.kind == TokKind::kString && arg.line == t[i].line) {
+            out.push_back({arg.line, arg.text, /*quoted=*/true});
+            continue;
+        }
+        if (arg.kind == TokKind::kPunct && arg.text == "<") {
+            std::string path;
+            for (std::size_t j = i + 3; j < t.size() && t[j].line == t[i].line; ++j) {
+                if (t[j].kind == TokKind::kPunct && t[j].text == ">") break;
+                path += t[j].text;
+            }
+            out.push_back({arg.line, std::move(path), /*quoted=*/false});
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions (rule id in parentheses, mandatory reason after a colon; see
+// the worked example at the top of lint_rules.hpp).
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+    std::map<int, std::set<std::string>> by_line;
+    std::vector<Finding> malformed;  // bad-suppression findings (never suppressible)
+};
+
+Suppressions parse_suppressions(const Lexed& lx) {
+    Suppressions out;
+    constexpr std::string_view kMarker = "newtop-lint:";
+    constexpr std::string_view kAllow = "allow(";
+    for (const auto& [line, text] : lx.comments) {
+        std::size_t pos = text.find(kMarker);
+        if (pos == std::string::npos) continue;
+        // A comment sharing a line with code guards that line; a standalone
+        // comment guards the line below it.
+        const int target = lx.code_lines.count(line) != 0 ? line : line + 1;
+        bool any_wellformed = false;
+        const std::size_t malformed_before = out.malformed.size();
+        pos += kMarker.size();
+        while ((pos = text.find(kAllow, pos)) != std::string::npos) {
+            pos += kAllow.size();
+            const std::size_t close = text.find(')', pos);
+            if (close == std::string::npos) break;
+            const std::string rule = text.substr(pos, close - pos);
+            pos = close + 1;
+            // Mandatory reason: a colon followed by non-blank text.
+            std::size_t after = text.find_first_not_of(" \t", pos);
+            const bool has_reason = after != std::string::npos && text[after] == ':' &&
+                                    text.find_first_not_of(" \t", after + 1) != std::string::npos;
+            if (!in_table(kAllRules, rule)) {
+                out.malformed.push_back({"", line, std::string(kRuleBadSuppression),
+                                         "allow(" + rule + ") names no known rule"});
+                continue;
+            }
+            if (!has_reason) {
+                out.malformed.push_back(
+                    {"", line, std::string(kRuleBadSuppression),
+                     "allow(" + rule + ") needs a reason: // newtop-lint: allow(" + rule +
+                         "): <why this is safe>"});
+                continue;
+            }
+            out.by_line[target].insert(rule);
+            any_wellformed = true;
+        }
+        if (!any_wellformed && out.malformed.size() == malformed_before) {
+            out.malformed.push_back({"", line, std::string(kRuleBadSuppression),
+                                     "newtop-lint marker without a well-formed allow(<rule>)"});
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+void add(std::vector<Finding>& out, int line, std::string_view rule, std::string message) {
+    out.push_back({"", line, std::string(rule), std::move(message)});
+}
+
+/// wall-clock / raw-random / getenv: banned identifiers, with the short
+/// names (`time`, `clock`) restricted to direct call syntax.
+void check_banned_identifiers(std::string_view rel_path, const std::vector<Token>& t,
+                              std::vector<Finding>& out) {
+    const bool random_sanctioned = has_prefix_in(rel_path, kRandomSanctionedDirs);
+    const bool env_sanctioned = has_prefix_in(rel_path, kEnvSanctionedDirs);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::kIdentifier) continue;
+        const std::string& id = t[i].text;
+        const Token* prev = i > 0 ? &t[i - 1] : nullptr;
+        const Token* prev2 = i > 1 ? &t[i - 2] : nullptr;
+        const Token* next = i + 1 < t.size() ? &t[i + 1] : nullptr;
+        const bool member_access =
+            prev != nullptr && prev->kind == TokKind::kPunct &&
+            (prev->text == "." || prev->text == "->");
+
+        if (in_table(kWallClockIds, id)) {
+            add(out, t[i].line, kRuleWallClock,
+                "'" + id + "' reads host time; use Scheduler::now() / util/time.hpp");
+            continue;
+        }
+        if (in_table(kWallClockCallIds, id) && next != nullptr &&
+            next->kind == TokKind::kPunct && next->text == "(" && !member_access) {
+            // Qualified calls: std::time(...) and ::time(...) are the libc
+            // clock; Foo::time(...) is somebody's method and is fine.
+            bool flagged = true;
+            if (prev != nullptr && prev->kind == TokKind::kPunct && prev->text == "::") {
+                flagged = prev2 == nullptr || prev2->kind != TokKind::kIdentifier ||
+                          prev2->text == "std";
+            }
+            if (flagged) {
+                add(out, t[i].line, kRuleWallClock,
+                    "'" + id + "(...)' reads host time; use Scheduler::now()");
+            }
+            continue;
+        }
+        if (!random_sanctioned && in_table(kRawRandomIds, id) && !member_access) {
+            add(out, t[i].line, kRuleRawRandom,
+                "'" + id + "' is non-seeded/global randomness; use util/rng.hpp (Rng)");
+            continue;
+        }
+        if (!env_sanctioned && in_table(kEnvIds, id) && !member_access) {
+            add(out, t[i].line, kRuleGetenv,
+                "'" + id + "' makes behaviour depend on host environment; plumb "
+                "configuration through Scenario/options instead");
+        }
+    }
+}
+
+/// unordered-container + pointer-key, in protocol/trace-visible directories.
+void check_containers(std::string_view rel_path, const std::vector<Token>& t,
+                      std::vector<Finding>& out) {
+    if (!has_prefix_in(rel_path, kProtocolVisibleDirs)) return;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::kIdentifier) continue;
+        const std::string& id = t[i].text;
+        const bool unordered = in_table(kUnorderedIds, id);
+        if (unordered) {
+            add(out, t[i].line, kRuleUnordered,
+                "'" + id + "' iteration order is hash/layout defined and this directory is "
+                "protocol/trace-visible; use std::map/std::set or a sorted vector");
+        }
+        if (!unordered && !in_table(kOrderedAssocIds, id)) continue;
+
+        // pointer-key: std::map<Key, ...> / std::set<Key> whose key type
+        // contains a raw or smart pointer orders by address — nondeterministic
+        // across runs.  Only the std-qualified form is checked, which is the
+        // only form this codebase uses.
+        const bool std_qualified = i >= 2 && t[i - 1].kind == TokKind::kPunct &&
+                                   t[i - 1].text == "::" &&
+                                   t[i - 2].kind == TokKind::kIdentifier && t[i - 2].text == "std";
+        if (!std_qualified) continue;
+        if (i + 1 >= t.size() || t[i + 1].kind != TokKind::kPunct || t[i + 1].text != "<") continue;
+        const bool keyed = id == "map" || id == "multimap" || id == "unordered_map" ||
+                           id == "unordered_multimap";
+        int depth = 1;
+        for (std::size_t j = i + 2; j < t.size() && depth > 0; ++j) {
+            const Token& tok = t[j];
+            if (tok.kind == TokKind::kPunct) {
+                if (tok.text == "<") ++depth;
+                if (tok.text == ">") --depth;
+                if (tok.text == ";" || tok.text == "{") break;  // lost the plot; bail out
+                if (keyed && depth == 1 && tok.text == ",") break;  // end of key type
+                if (tok.text == "*") {
+                    add(out, t[i].line, kRulePointerKey,
+                        "std::" + id + " keyed by a pointer orders by address; key by a "
+                        "StrongId or stable value instead");
+                    break;
+                }
+            } else if (tok.kind == TokKind::kIdentifier &&
+                       (tok.text == "shared_ptr" || tok.text == "unique_ptr" ||
+                        tok.text == "weak_ptr")) {
+                add(out, t[i].line, kRulePointerKey,
+                    "std::" + id + " keyed by a smart pointer compares addresses; key by a "
+                    "StrongId or stable value instead");
+                break;
+            }
+        }
+    }
+}
+
+/// float-sim: `float` anywhere under src/ — sim-time math is integral
+/// microseconds plus double-only derived ratios; float invites silent
+/// mixed-precision truncation.
+void check_float(std::string_view rel_path, const std::vector<Token>& t,
+                 std::vector<Finding>& out) {
+    if (rel_path.substr(0, kFloatScopeDir.size()) != kFloatScopeDir) return;
+    for (const Token& tok : t) {
+        if (tok.kind == TokKind::kIdentifier && tok.text == "float") {
+            add(out, tok.line, kRuleFloatSim,
+                "'float' in simulation code mixes precisions with double sim-time math; "
+                "use double (or integral SimTime/SimDuration)");
+        }
+    }
+}
+
+/// layer-dag: quoted includes from src/<layer>/ must stay within the
+/// declared dependency set.
+void check_layering(std::string_view rel_path, const std::vector<Include>& includes,
+                    std::vector<Finding>& out) {
+    const std::string_view layer = layer_of(rel_path);
+    if (layer.empty()) return;
+    const LayerDeps* deps = find_layer(layer);
+    if (deps == nullptr) {
+        add(out, 1, kRuleLayerDag,
+            "directory src/" + std::string(layer) + "/ is not declared in "
+            "tools/lint_rules.hpp kLayerTable; add it with its allowed dependencies");
+        return;
+    }
+    for (const Include& inc : includes) {
+        if (!inc.quoted) continue;  // system headers are not layer edges
+        const std::size_t slash = inc.path.find('/');
+        if (slash == std::string::npos) continue;  // same-directory include
+        const std::string target = inc.path.substr(0, slash);
+        if (target == layer) continue;
+        if (find_layer(target) == nullptr) {
+            add(out, inc.line, kRuleLayerDag,
+                "include \"" + inc.path + "\" targets '" + target +
+                    "', which is not a declared layer (tools/lint_rules.hpp)");
+            continue;
+        }
+        if (!in_table(deps->deps, target)) {
+            add(out, inc.line, kRuleLayerDag,
+                "layer '" + std::string(layer) + "' may not include from '" + target +
+                    "' (allowed per tools/lint_rules.hpp: own layer + declared deps)");
+        }
+    }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
+
+std::string to_string(const Finding& f) {
+    std::ostringstream os;
+    os << f.file << ':' << f.line << ": " << f.rule << ": " << f.message;
+    return os.str();
+}
+
+std::vector<Finding> scan_source(std::string_view rel_path, std::string_view content) {
+    const Lexed lx = lex(content);
+    const Suppressions sup = parse_suppressions(lx);
+
+    std::vector<Finding> raw;
+    check_banned_identifiers(rel_path, lx.tokens, raw);
+    check_containers(rel_path, lx.tokens, raw);
+    check_float(rel_path, lx.tokens, raw);
+    check_layering(rel_path, find_includes(lx), raw);
+
+    std::vector<Finding> out;
+    for (Finding& f : raw) {
+        const auto it = sup.by_line.find(f.line);
+        if (it != sup.by_line.end() && it->second.count(f.rule) != 0) continue;
+        out.push_back(std::move(f));
+    }
+    for (const Finding& f : sup.malformed) out.push_back(f);
+    for (Finding& f : out) f.file = std::string(rel_path);
+    std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+        return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+    });
+    return out;
+}
+
+std::vector<Finding> scan_tree(const std::filesystem::path& repo_root) {
+    namespace fs = std::filesystem;
+    std::vector<Finding> out;
+
+    std::string table_error;
+    if (!layer_table_is_valid(&table_error)) {
+        out.push_back({"tools/lint_rules.hpp", 1, std::string(kRuleLayerDag), table_error});
+        return out;
+    }
+
+    std::vector<std::string> files;
+    for (std::string_view root : kScanRoots) {
+        const fs::path dir = repo_root / root;
+        if (!fs::is_directory(dir)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file()) continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+            std::string rel = fs::relative(entry.path(), repo_root).generic_string();
+            if (has_prefix_in(rel, kExcludedDirs)) continue;
+            files.push_back(std::move(rel));
+        }
+    }
+    // Directory iteration order is filesystem-defined; the lint practises
+    // what it preaches and sorts.
+    std::sort(files.begin(), files.end());
+
+    for (const std::string& rel : files) {
+        std::ifstream in(repo_root / rel, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::vector<Finding> file_findings = scan_source(rel, buf.str());
+        out.insert(out.end(), std::make_move_iterator(file_findings.begin()),
+                   std::make_move_iterator(file_findings.end()));
+    }
+    return out;
+}
+
+bool layer_table_is_valid(std::string* error) {
+    auto fail = [error](std::string msg) {
+        if (error != nullptr) *error = std::move(msg);
+        return false;
+    };
+    // Every named dependency must be a declared layer, and no layer may be
+    // declared twice.
+    for (std::size_t i = 0; i < kLayerTable.size(); ++i) {
+        for (std::size_t j = i + 1; j < kLayerTable.size(); ++j) {
+            if (kLayerTable[i].layer == kLayerTable[j].layer) {
+                return fail("layer '" + std::string(kLayerTable[i].layer) + "' declared twice");
+            }
+        }
+        for (std::string_view dep : kLayerTable[i].deps) {
+            if (dep.empty()) continue;
+            if (dep == kLayerTable[i].layer) {
+                return fail("layer '" + std::string(dep) + "' lists itself as a dependency");
+            }
+            if (find_layer(dep) == nullptr) {
+                return fail("layer '" + std::string(kLayerTable[i].layer) +
+                            "' depends on undeclared layer '" + std::string(dep) + "'");
+            }
+        }
+    }
+    // Acyclicity via iterative removal of zero-dependency layers (Kahn).
+    std::set<std::string_view> remaining;
+    for (const LayerDeps& entry : kLayerTable) remaining.insert(entry.layer);
+    bool progress = true;
+    while (progress && !remaining.empty()) {
+        progress = false;
+        for (auto it = remaining.begin(); it != remaining.end();) {
+            const LayerDeps* deps = find_layer(*it);
+            bool ready = true;
+            for (std::string_view dep : deps->deps) {
+                if (!dep.empty() && remaining.count(dep) != 0) ready = false;
+            }
+            if (ready) {
+                it = remaining.erase(it);
+                progress = true;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (!remaining.empty()) {
+        std::string cycle;
+        for (std::string_view layer : remaining) {
+            if (!cycle.empty()) cycle += ", ";
+            cycle += layer;
+        }
+        return fail("layer dependency table contains a cycle among: " + cycle);
+    }
+    return true;
+}
+
+}  // namespace newtop::lint

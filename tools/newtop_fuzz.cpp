@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     options.runs = 50;
     bool print_scenarios = false;
     std::optional<std::uint64_t> single_seed;
+    // newtop-lint: allow(getenv): replay knob read once at startup, before any simulation runs
     if (const char* env = std::getenv("NEWTOP_FUZZ_SEED"); env != nullptr && *env != '\0') {
         single_seed = std::strtoull(env, nullptr, 10);
     }

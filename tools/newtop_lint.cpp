@@ -1,0 +1,46 @@
+// newtop_lint CLI: determinism & layering lint over the whole tree.
+//
+// Usage:
+//     newtop_lint [--root <repo-root>] [--list-rules]
+//
+// Exit status 0 when the tree is clean, 1 when there are findings, 2 on
+// usage errors.  Findings print in compiler format (file:line: rule: msg)
+// so editors and CI annotate them directly.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/lint_rules.hpp"
+#include "tools/lint_scanner.hpp"
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const auto rule : newtop::lint::kAllRules) std::cout << rule << '\n';
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: newtop_lint [--root <repo-root>] [--list-rules]\n"
+                         "Scans src/, tests/, tools/, bench/ and examples/ for determinism\n"
+                         "and layering violations (rules: tools/lint_rules.hpp).\n"
+                         "Suppress with: // newtop-lint: allow(<rule>): <reason>\n";
+            return 0;
+        } else {
+            std::cerr << "newtop_lint: unknown argument '" << arg << "' (try --help)\n";
+            return 2;
+        }
+    }
+
+    const std::vector<newtop::lint::Finding> findings = newtop::lint::scan_tree(root);
+    for (const auto& f : findings) std::cout << newtop::lint::to_string(f) << '\n';
+    if (findings.empty()) {
+        std::cerr << "newtop_lint: clean\n";
+        return 0;
+    }
+    std::cerr << "newtop_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << '\n';
+    return 1;
+}
