@@ -19,6 +19,13 @@ void remove_actor_from_peers(Scenario& s, int index) {
     std::erase_if(s.peers, [](const PeerSpec& peer) { return peer.members.size() < 2; });
 }
 
+/// Faults addressed by (service, replica) — crash/restart pairs must be
+/// erased and renumbered together when the shrinker drops replicas.
+bool targets_replica(const FaultSpec& fault) {
+    return fault.kind == FaultSpec::Kind::kCrashServer ||
+           fault.kind == FaultSpec::Kind::kRestart;
+}
+
 Scenario without_fault(Scenario s, std::size_t f) {
     s.faults.erase(s.faults.begin() + static_cast<std::ptrdiff_t>(f));
     return s;
@@ -50,11 +57,11 @@ Scenario without_replica(Scenario s, std::size_t j, std::size_t k) {
     ServiceSpec& svc = s.services[j];
     svc.server_sites.erase(svc.server_sites.begin() + static_cast<std::ptrdiff_t>(k));
     std::erase_if(s.faults, [&](const FaultSpec& fault) {
-        return fault.kind == FaultSpec::Kind::kCrashServer &&
-               fault.a == static_cast<int>(j) && fault.b == static_cast<int>(k);
+        return targets_replica(fault) && fault.a == static_cast<int>(j) &&
+               fault.b == static_cast<int>(k);
     });
     for (FaultSpec& fault : s.faults) {
-        if (fault.kind == FaultSpec::Kind::kCrashServer && fault.a == static_cast<int>(j) &&
+        if (targets_replica(fault) && fault.a == static_cast<int>(j) &&
             fault.b > static_cast<int>(k)) {
             --fault.b;
         }
@@ -72,10 +79,10 @@ Scenario without_service(Scenario s, std::size_t j) {
         if (client.service > static_cast<int>(j)) --client.service;
     }
     std::erase_if(s.faults, [&](const FaultSpec& fault) {
-        return fault.kind == FaultSpec::Kind::kCrashServer && fault.a == static_cast<int>(j);
+        return targets_replica(fault) && fault.a == static_cast<int>(j);
     });
     for (FaultSpec& fault : s.faults) {
-        if (fault.kind == FaultSpec::Kind::kCrashServer && fault.a > static_cast<int>(j)) {
+        if (targets_replica(fault) && fault.a > static_cast<int>(j)) {
             --fault.a;
         }
     }

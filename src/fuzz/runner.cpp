@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "newtop/newtop_service.hpp"
+#include "newtop/recovery_manager.hpp"
 #include "util/check.hpp"
 
 namespace newtop::fuzz {
@@ -111,16 +112,51 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     };
 
     // -- servers -------------------------------------------------------------
-    std::vector<Actor> servers;  // flattened: Scenario::server_actor order
+    // Every server replica runs under a RecoveryManager so kRestart faults
+    // exercise the real recovery pipeline: fresh NSO, re-serve, peer-group
+    // rejoin, and (for joiners) the normal membership state machine.
+    struct PeerJoin {
+        std::string name;
+        GroupConfig config;
+    };
+    struct ServerRt {
+        std::unique_ptr<RecoveryManager> mgr;
+        /// Peer groups this actor belongs to; the generation factory
+        /// replays these joins after every restart.
+        std::vector<PeerJoin> peer_specs;
+        /// Current-generation peer handles (replaced on restart).
+        std::map<std::string, PeerGroup> peer_by_name;
+        bool restarted{false};  // targeted by a kRestart fault
+    };
+    std::vector<std::unique_ptr<ServerRt>> servers;  // Scenario::server_actor order
     for (std::size_t j = 0; j < scenario.services.size(); ++j) {
         const ServiceSpec& svc = scenario.services[j];
         GroupConfig config;
         config.order = svc.order;
         config.liveness = svc.liveness;
+        const std::string name = service_name(static_cast<int>(j));
         for (const int site : svc.server_sites) {
-            servers.push_back(spawn(site));
-            servers.back().nso->serve(service_name(static_cast<int>(j)), config,
-                                      std::make_shared<EchoServant>());
+            auto rt = std::make_unique<ServerRt>();
+            ServerRt* raw = rt.get();
+            auto factory = [raw, name, config](NewTopService& nso,
+                                               std::function<void()> note_recovered) {
+                nso.serve(name, config,
+                          std::make_shared<RecoveryProbeServant>(
+                              std::make_shared<EchoServant>(), std::move(note_recovered)));
+                raw->peer_by_name.clear();
+                for (const PeerJoin& peer : raw->peer_specs) {
+                    raw->peer_by_name.emplace(
+                        peer.name, nso.join_peer_group(peer.name, peer.config,
+                                                       [](const NewTopService::PeerMessage&) {}));
+                }
+                RecoveryManager::Generation gen;
+                gen.ready = [&nso, name] { return nso.invocation().serving(name); };
+                return gen;
+            };
+            rt->mgr = std::make_unique<RecoveryManager>(
+                net, directory, SiteId(static_cast<SiteId::rep_type>(site)),
+                std::move(factory));
+            servers.push_back(std::move(rt));
             scheduler.run_until(scheduler.now() + 300_ms);
         }
     }
@@ -130,6 +166,7 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
         Actor actor;
         GroupProxy proxy;
         const ClientSpec* spec{nullptr};
+        std::map<std::string, PeerGroup> peers;
         int issued{0};
         int done{0};
     };
@@ -151,11 +188,6 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
 
     // -- overlapping peer groups ----------------------------------------------
     const int total_servers = scenario.total_servers();
-    auto actor_nso = [&](int index) -> NewTopService& {
-        if (index < total_servers) return *servers[static_cast<std::size_t>(index)].nso;
-        return *clients[static_cast<std::size_t>(index - total_servers)]->actor.nso;
-    };
-    std::vector<PeerGroup> peer_handles;
     for (std::size_t p = 0; p < scenario.peers.size(); ++p) {
         const PeerSpec& peer = scenario.peers[p];
         GroupConfig config;
@@ -163,8 +195,16 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
         config.liveness = LivenessMode::kLively;
         const std::string name = "peer" + std::to_string(p);
         for (const int member : peer.members) {
-            peer_handles.push_back(actor_nso(member).join_peer_group(
-                name, config, [](const NewTopService::PeerMessage&) {}));
+            const auto noop = [](const NewTopService::PeerMessage&) {};
+            if (member < total_servers) {
+                ServerRt& rt = *servers[static_cast<std::size_t>(member)];
+                rt.peer_specs.push_back({name, config});
+                rt.peer_by_name.emplace(name,
+                                        rt.mgr->nso().join_peer_group(name, config, noop));
+            } else {
+                ClientRt& rt = *clients[static_cast<std::size_t>(member - total_servers)];
+                rt.peers.emplace(name, rt.actor.nso->join_peer_group(name, config, noop));
+            }
             scheduler.run_until(scheduler.now() + 300_ms);
         }
     }
@@ -188,19 +228,33 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
         // Deterministic stagger so clients don't all fire on one tick.
         scheduler.schedule_after(static_cast<SimDuration>(i) * 7'000, [&, i] { issue(i); });
     }
-    // Peer publishes spread evenly over the workload window.
-    std::size_t handle = 0;
-    for (const PeerSpec& peer : scenario.peers) {
-        for (std::size_t m = 0; m < peer.members.size(); ++m, ++handle) {
+    // Peer publishes spread evenly over the workload window.  Handles are
+    // resolved at fire time: a restarted server publishes through its
+    // current generation's handle (and skips the publish while its rejoin
+    // is still in flight).
+    auto publish_as = [&](int member, const std::string& name, int k) {
+        PeerGroup* group = nullptr;
+        if (member < total_servers) {
+            auto& by_name = servers[static_cast<std::size_t>(member)]->peer_by_name;
+            if (const auto it = by_name.find(name); it != by_name.end()) group = &it->second;
+        } else {
+            auto& peers = clients[static_cast<std::size_t>(member - total_servers)]->peers;
+            if (const auto it = peers.find(name); it != peers.end()) group = &it->second;
+        }
+        if (group == nullptr || !group->joined()) return;
+        const std::string text = "chaos" + std::to_string(k);
+        group->publish(Bytes(text.begin(), text.end()));
+    };
+    for (std::size_t p = 0; p < scenario.peers.size(); ++p) {
+        const PeerSpec& peer = scenario.peers[p];
+        const std::string name = "peer" + std::to_string(p);
+        for (const int member : peer.members) {
             for (int k = 0; k < peer.publishes_per_member; ++k) {
                 const SimDuration at = static_cast<SimDuration>(
                     (static_cast<std::uint64_t>(k) + 1) * scenario.run_us /
                     (static_cast<std::uint64_t>(peer.publishes_per_member) + 1));
-                PeerGroup* group = &peer_handles[handle];
-                scheduler.schedule_at(start + at, [group, k] {
-                    const std::string text = "chaos" + std::to_string(k);
-                    group->publish(Bytes(text.begin(), text.end()));
-                });
+                scheduler.schedule_at(start + at,
+                                      [&publish_as, member, name, k] { publish_as(member, name, k); });
             }
         }
     }
@@ -211,10 +265,18 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
         const SimTime at = start + static_cast<SimDuration>(fault.at_us);
         switch (fault.kind) {
             case FaultSpec::Kind::kCrashServer: {
-                Actor& server = servers[static_cast<std::size_t>(
+                ServerRt& server = *servers[static_cast<std::size_t>(
                     scenario.server_actor(fault.a, fault.b))];
-                NodeId node = server.orb->node_id();
+                NodeId node = server.mgr->node_id();
                 scheduler.schedule_at(at, [&net, node] { net.crash(node); });
+                break;
+            }
+            case FaultSpec::Kind::kRestart: {
+                ServerRt& server = *servers[static_cast<std::size_t>(
+                    scenario.server_actor(fault.a, fault.b))];
+                server.restarted = true;
+                NodeId node = server.mgr->node_id();
+                scheduler.schedule_at(at, [&net, node] { net.restart(node, 0); });
                 break;
             }
             case FaultSpec::Kind::kCrashClient: {
@@ -246,10 +308,20 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     // -- run + drain -----------------------------------------------------------
     scheduler.run_until(start + static_cast<SimDuration>(scenario.run_us));
     scheduler.run_until(scheduler.now() + static_cast<SimDuration>(scenario.drain_us));
-    // Bounded extra windows: a still-working scenario (slow rebind chains)
-    // gets time to finish; a genuine hang survives them and is reported.
+    // Bounded extra windows: a still-working scenario (slow rebind chains,
+    // a restarted replica mid-resync) gets time to finish; a genuine hang
+    // survives them and is reported.
+    auto recovery_pending = [&] {
+        for (const auto& rt : servers) {
+            if (rt->restarted && !net.node(rt->mgr->node_id()).crashed() &&
+                !rt->mgr->recovered()) {
+                return true;
+            }
+        }
+        return false;
+    };
     for (int guard = 0; guard < 8; ++guard) {
-        bool all_done = true;
+        bool all_done = !recovery_pending();
         for (const auto& rt : clients) {
             if (exempt.contains(rt->actor.nso->id().value())) continue;
             all_done &= rt->done >= rt->spec->calls;
@@ -281,6 +353,20 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     result.trace_dropped = sink.dropped();
     result.violations = obs::ProtocolOracle(oracle_options).check(events);
     result.liveness_failures = check_call_liveness(events, exempt);
+    // Resync liveness: every replica a kRestart fault brought back must end
+    // the run recovered (rejoined its server group and serving), unless a
+    // later crash took it down again.
+    for (std::size_t idx = 0; idx < servers.size(); ++idx) {
+        const ServerRt& rt = *servers[idx];
+        if (!rt.restarted) continue;
+        if (net.node(rt.mgr->node_id()).crashed()) continue;
+        if (!rt.mgr->recovered()) {
+            result.liveness_failures.push_back(
+                "recovery: server actor " + std::to_string(idx) + " (endpoint " +
+                std::to_string(rt.mgr->endpoint().value()) +
+                ") restarted but never rejoined its server group");
+        }
+    }
     if (options.keep_trace) result.trace = std::move(events);
     return result;
 }

@@ -44,6 +44,7 @@ const char* fault_kind_name(FaultSpec::Kind kind) {
         case FaultSpec::Kind::kPartitionSite: return "partition_site";
         case FaultSpec::Kind::kHeal: return "heal";
         case FaultSpec::Kind::kLossBurst: return "loss_burst";
+        case FaultSpec::Kind::kRestart: return "restart_server";
     }
     return "?";
 }
@@ -240,6 +241,21 @@ Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
                 fault.b = static_cast<int>(
                     rng.next_in(0, static_cast<std::uint64_t>(replicas - 1)));
                 ++crashed_per_service[static_cast<std::size_t>(j)];
+                // Sometimes the crashed replica comes back: a crash/restart
+                // pair exercising the recovery pipeline.  The crash still
+                // counts against the per-service budget — the restart only
+                // adds recovery, it never licenses an extra crash.
+                const bool paired = rng.next_bool(0.5);
+                const std::uint64_t restart_delay = rng.next_in(500, 4000) * 1000;
+                if (paired && limits_.allow_restarts) {
+                    FaultSpec restart;
+                    restart.kind = FaultSpec::Kind::kRestart;
+                    restart.a = fault.a;
+                    restart.b = fault.b;
+                    restart.at_us =
+                        std::min(fault.at_us + restart_delay, s.run_us + 2'000'000);
+                    s.faults.push_back(restart);
+                }
             } else if (roll < 0.60 && s.sites >= 2) {
                 // Partition one site away, healing before the drain phase.
                 fault.kind = FaultSpec::Kind::kPartitionSite;

@@ -75,6 +75,9 @@ struct PeerSpec {
 ///   kPartitionSite : a = site, b = partition cell
 ///   kHeal          : (no operands) merge all cells
 ///   kLossBurst     : extra drop probability `loss` for `duration_us`
+///   kRestart       : a = service index, b = replica index — restart the
+///                    (crashed) replica; its node comes back with a bumped
+///                    incarnation and the recovery pipeline rejoins it
 struct FaultSpec {
     enum class Kind : std::uint8_t {
         kCrashServer = 0,
@@ -82,6 +85,7 @@ struct FaultSpec {
         kPartitionSite = 2,
         kHeal = 3,
         kLossBurst = 4,
+        kRestart = 5,
     };
     Kind kind{Kind::kCrashServer};
     std::uint64_t at_us{0};  // relative to workload start
@@ -128,6 +132,10 @@ struct ScenarioLimits {
     int max_faults{3};
     bool allow_faults{true};
     bool allow_peer_group{true};
+    /// Pair some server crashes with a later restart of the same replica
+    /// (crash -> restart inside the survivable envelope); the runner then
+    /// also checks the resync-liveness property for restarted replicas.
+    bool allow_restarts{true};
 };
 
 /// Samples one full Scenario from a seed.  Pure function of

@@ -1,5 +1,6 @@
 #include "gcs/directory.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -16,6 +17,7 @@ const Ior& Directory::endpoint_ior(EndpointId id) const {
 
 void Directory::register_nso(EndpointId id, Ior nso_ior) {
     nso_iors_[id] = std::move(nso_ior);
+    evicted_.erase(id);
 }
 
 const Ior& Directory::nso_ior(EndpointId id) const {
@@ -23,6 +25,16 @@ const Ior& Directory::nso_ior(EndpointId id) const {
     NEWTOP_EXPECTS(it != nso_iors_.end(), "endpoint has no registered NSO");
     return it->second;
 }
+
+bool Directory::has_nso(EndpointId id) const { return nso_iors_.contains(id); }
+
+void Directory::evict_endpoint(EndpointId id) {
+    if (nso_iors_.erase(id) == 0) return;
+    evicted_.insert(id);
+    if (metrics_ != nullptr) metrics_->add("directory.evictions");
+}
+
+bool Directory::known_defunct(EndpointId id) const { return evicted_.contains(id); }
 
 GroupId Directory::register_group(const std::string& name, const GroupConfig& config,
                                   EndpointId creator) {

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@
 #include "orb/ior.hpp"
 
 namespace newtop {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 class Directory {
 public:
@@ -41,6 +46,28 @@ public:
     void register_nso(EndpointId id, Ior nso_ior);
     [[nodiscard]] const Ior& nso_ior(EndpointId id) const;
 
+    /// Whether `id` currently has a live NSO registration.  Callers that
+    /// pick invitation targets from contact hints must filter on this —
+    /// evicted endpoints have no NSO and nso_ior() refuses them.
+    [[nodiscard]] bool has_nso(EndpointId id) const;
+
+    /// Drop a (suspected or provably) dead endpoint's NSO registration so
+    /// rebinding clients stop selecting it as a request manager.  Eviction
+    /// is advisory, like the contact hint: a falsely suspected endpoint
+    /// re-registers the next time it installs a view.  Counted as
+    /// directory.evictions when a registration was actually removed.
+    void evict_endpoint(EndpointId id);
+
+    /// True if `id` was evicted and never re-registered — i.e. the rest of
+    /// the system has concluded this process is dead.  Deliberately
+    /// distinct from !has_nso(): worlds running the bare GCS layer never
+    /// register NSOs, and nothing there is ever *known* defunct.
+    [[nodiscard]] bool known_defunct(EndpointId id) const;
+
+    /// Attach a metrics registry (the directory is world-global and built
+    /// before the network, so this is wired explicitly after construction).
+    void attach_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
     /// Register a new group.  Throws if the name is taken.
     GroupId register_group(const std::string& name, const GroupConfig& config,
                            EndpointId creator);
@@ -58,8 +85,10 @@ public:
     [[nodiscard]] const Ior* find_object(const std::string& name) const;
 
 private:
+    obs::MetricsRegistry* metrics_{nullptr};
     std::vector<Ior> endpoint_iors_;
     std::map<EndpointId, Ior> nso_iors_;
+    std::set<EndpointId> evicted_;
     std::map<std::string, Ior> objects_;
     std::map<std::string, GroupInfo> groups_by_name_;
     std::map<GroupId, std::string> names_by_id_;

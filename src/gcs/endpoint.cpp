@@ -63,6 +63,9 @@ private:
 
 GroupCommEndpoint::GroupCommEndpoint(Orb& orb, Directory& directory)
     : orb_(&orb), directory_(&directory) {
+    // Idempotent; gives the world-global directory somewhere to count
+    // evictions (one registry per world, owned by the network).
+    directory_->attach_metrics(&orb_->network().metrics());
     service_ior_ = orb_->adapter().activate(std::make_shared<GcsServant>(this), "NewTopGCS");
     id_ = directory_->register_endpoint(service_ior_);
 }
@@ -114,7 +117,10 @@ GroupCommEndpoint::GroupStats GroupCommEndpoint::group_stats(GroupId group) cons
 // -- wiring ---------------------------------------------------------------------
 
 bool GroupCommEndpoint::process_crashed() const {
-    return orb_->network().node(orb_->node_id()).crashed();
+    // Incarnation-aware: after a node restart the old endpoint's timers are
+    // still in the scheduler, but they belong to a process that no longer
+    // exists and must stay dead even though the *node* is alive again.
+    return orb_->process_defunct();
 }
 
 obs::MetricsRegistry& GroupCommEndpoint::metrics() const {

@@ -199,7 +199,9 @@ private:
     // -- wiring (endpoint.cpp) -------------------------------------------------
     /// Crash-stop: a dead process executes nothing.  Timer callbacks and
     /// message handlers bail out through this so a crashed node can never
-    /// mutate shared state (e.g. the directory) again.
+    /// mutate shared state (e.g. the directory) again.  Incarnation-aware:
+    /// stays true for this endpoint after its node restarts, because the
+    /// reborn process is a fresh endpoint and this one is gone for good.
     [[nodiscard]] bool process_crashed() const;
     /// The world's metrics registry (owned by the Network).
     [[nodiscard]] obs::MetricsRegistry& metrics() const;

@@ -18,6 +18,14 @@ bool GroupCommEndpoint::mechanisms_active(const Group& g) const {
     if (!g.installed) return false;
     if (g.config.liveness == LivenessMode::kLively) return true;
     if (g.state == Group::State::kViewChange) return true;
+    // A pending membership trigger must be able to make progress even in an
+    // otherwise quiet group: if the lowest-ranked member is dead but was
+    // never suspected (no traffic since the crash), the failure detector
+    // has to run to unseat it — otherwise a joiner waits forever for a
+    // coordinator that no longer exists.
+    if (!g.suspects.empty() || !g.pending_joiners.empty() || !g.pending_leavers.empty()) {
+        return true;
+    }
     if (!g.unstable.empty() || !g.release_queue.empty()) return true;
     switch (g.config.order) {
         case OrderMode::kTotalSymmetric:

@@ -83,6 +83,28 @@ void GroupCommEndpoint::on_join_retry(const std::string& name) {
         pending_joins_.erase(pending);
         return;
     }
+    // If every contact the directory remembers has been evicted as dead
+    // (and never re-registered), nobody is left to admit us: the whole
+    // group crashed.  Re-found it as a fresh single-member lineage — other
+    // recovered replicas then join through the normal path.  The check is
+    // deterministic and race-free because the directory is shared
+    // bootstrap state: the first re-founder's install refreshes the
+    // contact hint synchronously, so a second reborn member sees a live
+    // contact and joins instead of founding a rival lineage.
+    bool any_live_contact = false;
+    for (const EndpointId contact : info->contact_hint) {
+        if (contact != id_ && !directory_->known_defunct(contact)) {
+            any_live_contact = true;
+            break;
+        }
+    }
+    if (!any_live_contact) {
+        metrics().add("gcs.group_refounds");
+        pending_joins_.erase(pending);
+        Group& g = ensure_skeleton(info->id);
+        install_first_view(g);
+        return;
+    }
     const JoinReq req{info->id, id_};
     for (const EndpointId contact : info->contact_hint) {
         if (contact != id_) send_wire(contact, req);
@@ -106,6 +128,11 @@ void GroupCommEndpoint::handle_join(const JoinReq& msg) {
         multicast_wire(*g, msg);
     }
     maybe_start_view_change(*g);
+    // The pending join makes the liveness mechanisms active even for a
+    // quiet event-driven group (see mechanisms_active): if the would-be
+    // coordinator is dead, the suspicion scan unseats it.
+    g = find_group(msg.group);
+    if (g != nullptr) kick_liveness(*g);
 }
 
 void GroupCommEndpoint::handle_leave(const LeaveReq& msg) {
@@ -114,6 +141,8 @@ void GroupCommEndpoint::handle_leave(const LeaveReq& msg) {
     if (!g->view.contains(msg.leaver)) return;
     g->pending_leavers.insert(msg.leaver);
     maybe_start_view_change(*g);
+    g = find_group(msg.group);
+    if (g != nullptr) kick_liveness(*g);
 }
 
 // -- suspicion -------------------------------------------------------------------
@@ -403,6 +432,15 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     g.symmetric.reset(g.view.members);
     g.sequencer.reset(g.view.members, id_);
     g.causal.reset(g.view.members);
+
+    // Members this view removed *because we suspected them* are reported
+    // dead to the directory, so rebinding clients stop selecting them as
+    // request managers (voluntary leavers are not suspects and keep their
+    // registrations).  Advisory, like the contact hint: a falsely
+    // suspected member re-registers on its own next view install.
+    for (const EndpointId m : old_members) {
+        if (!g.view.contains(m) && g.suspects.contains(m)) directory_->evict_endpoint(m);
+    }
 
     // Suspicions and requests that the new view resolved are cleared.
     std::erase_if(g.suspects, [&](EndpointId m) { return !g.view.contains(m); });

@@ -85,8 +85,13 @@ void SequencerOrder::on_data(const DataMsg& msg) {
     if (!seen_refs_.insert(ref).second) return;
     data_store_.emplace(ref, msg);
     if (is_sequencer()) {
+        // The assignment enters log_ only once its order record is actually
+        // handed out for broadcast (take_order_to_send).  Until then it is
+        // private state no other member can have observed, and it must not
+        // leak into a view-change flush: a fragment that never saw the
+        // order record sorts the same messages by (ts, sender), and
+        // honouring an unsent arrival order here would contradict it.
         assignment_.emplace(next_assign_, ref);
-        log_.emplace(next_assign_, ref);
         ++next_assign_;
         fresh_assignments_.push_back(ref);
     }
@@ -104,6 +109,9 @@ std::optional<OrderMsg> SequencerOrder::take_order_to_send() {
     if (fresh_assignments_.empty()) return std::nullopt;
     OrderMsg out;
     out.first_order = next_assign_ - fresh_assignments_.size();
+    for (std::size_t i = 0; i < fresh_assignments_.size(); ++i) {
+        log_.emplace(out.first_order + i, fresh_assignments_[i]);
+    }
     out.refs = std::move(fresh_assignments_);
     fresh_assignments_.clear();
     return out;
@@ -114,6 +122,10 @@ std::vector<DataMsg> SequencerOrder::take_deliverable() {
     while (true) {
         auto order_it = assignment_.find(next_deliver_);
         if (order_it == assignment_.end()) break;
+        // The sequencer never delivers ahead of its own broadcast: an order
+        // that has not been taken for sending is invisible to every flush,
+        // so committing to it locally could not survive a view change.
+        if (is_sequencer() && !log_.contains(next_deliver_)) break;
         auto data_it = data_store_.find(order_it->second);
         if (data_it == data_store_.end()) break;
         out.push_back(std::move(data_it->second));

@@ -104,8 +104,11 @@ public:
         return std::max(data_store_.size(), assignment_.size());
     }
 
-    /// All assignments learned this epoch (including delivered ones) — the
-    /// view-change flush reports these so the cut preserves sequencer order.
+    /// All *broadcast* assignments learned this epoch (including delivered
+    /// ones) — the view-change flush reports these so the cut preserves
+    /// sequencer order.  Assignments whose order record was never taken for
+    /// sending are deliberately absent: no other member can have delivered
+    /// by them, and the cut's (ts, sender) fallback must win instead.
     [[nodiscard]] const std::map<std::uint64_t, MsgRef>& assignment_log() const { return log_; }
 
     /// Remove and return everything still held back (view-change flush).

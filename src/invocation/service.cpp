@@ -10,7 +10,12 @@ namespace newtop {
 
 InvocationService::InvocationService(Orb& orb, GroupCommEndpoint& endpoint,
                                      Directory& directory)
-    : orb_(&orb), endpoint_(&endpoint), directory_(&directory) {}
+    : orb_(&orb),
+      endpoint_(&endpoint),
+      directory_(&directory),
+      // Seeded from the endpoint identity: deterministic per world, yet
+      // distinct clients jitter their backoff retries differently.
+      backoff_rng_(0x9e3779b97f4a7c15ULL ^ endpoint.id().value()) {}
 
 obs::MetricsRegistry& InvocationService::metrics() const { return orb_->network().metrics(); }
 

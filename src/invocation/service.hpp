@@ -34,6 +34,7 @@
 #include "invocation/envelope.hpp"
 #include "invocation/group_servant.hpp"
 #include "invocation/types.hpp"
+#include "util/rng.hpp"
 
 namespace newtop {
 
@@ -166,13 +167,24 @@ private:
         std::string service;
         BindOptions options;
         GroupId server_group;
-        enum class State : std::uint8_t { kJoining, kReady, kDead } state{State::kJoining};
+        /// kBackoff: every candidate server is gone (dead or evicted); the
+        /// binding periodically re-resolves the service name with capped
+        /// exponential backoff instead of failing permanently, so it heals
+        /// when a recovered replica re-registers.  Calls made meanwhile
+        /// fail immediately, like kDead.
+        enum class State : std::uint8_t {
+            kJoining,
+            kReady,
+            kBackoff,
+            kDead
+        } state{State::kJoining};
 
         // all modes
         GroupId cs_group;  // client/server group (open/closed) or monitor group gz
         std::uint64_t attempt{0};  // cs-group recreation counter
         std::uint64_t rebinds{0};
         TimerId invite_timer{0};
+        std::uint64_t backoff_round{0};  // consecutive failed re-resolutions
 
         // open / group-to-group
         EndpointId manager;  // current request manager
@@ -221,6 +233,8 @@ private:
     void handle_aggregate(Binding& b, const AggregateEnv& aggregate);
     void collect_closed_reply(Binding& b, const ReplyEnv& reply);
     void rebind(Binding& b);
+    void enter_backoff(Binding& b);
+    void on_backoff_retry(BindingId id, std::uint64_t round);
     [[nodiscard]] std::vector<EndpointId> manager_candidates(const Binding& b) const;
     void reevaluate_closed_calls(Binding& b);
     [[nodiscard]] std::size_t live_server_count(const Binding& b) const;
@@ -247,6 +261,9 @@ private:
     std::map<GroupId, BindingId> bindings_by_group_;     // cs/access group -> binding
     BindingId next_binding_{1};
     std::uint64_t next_cs_name_{1};
+    /// Jitter for backoff retries; seeded per-endpoint so worlds stay
+    /// deterministic and concurrent bindings do not retry in lockstep.
+    Rng backoff_rng_;
 };
 
 }  // namespace newtop

@@ -14,9 +14,12 @@ namespace newtop {
 using namespace sim_literals;
 
 namespace {
-/// How long a client waits for a request manager to accept an invitation
-/// and appear in the client/server group before trying another server.
-constexpr SimDuration kInviteTimeout = 3_s;
+/// Backoff schedule for bindings whose server group died entirely: retry
+/// the name re-resolution at kBackoffBase, doubling up to kBackoffCap, each
+/// round jittered by up to a quarter of the base so concurrent clients do
+/// not thunder back in lockstep when the service recovers.
+constexpr SimDuration kBackoffBase = 250_ms;
+constexpr SimDuration kBackoffCap = 4_s;
 
 /// Per-mode reply-wait histogram names (issue to handler completion).
 const char* reply_wait_metric(InvocationMode mode) {
@@ -100,15 +103,17 @@ void InvocationService::start_closed_bind(Binding& b) {
     const Directory::GroupInfo* info = directory_->find_group(b.service);
     b.invited_servers.clear();
     if (info != nullptr) {
-        for (const EndpointId server : info->contact_hint) b.invited_servers.insert(server);
+        for (const EndpointId server : info->contact_hint) {
+            // Skip endpoints the directory knows are dead; inviting them
+            // would only burn the invite timeout.
+            if (!directory_->known_defunct(server)) b.invited_servers.insert(server);
+        }
     }
     if (b.invited_servers.empty()) {
-        NEWTOP_WARN("binding " << b.id << ": no live server for closed binding");
-        b.state = Binding::State::kDead;
-        // Calls queued while joining (or re-queued by a rebind) can never be
-        // carried: fail them now, as the open-mode path does — dropping them
-        // silently would leave their handlers hanging forever.
-        fail_all_calls(b);
+        // Every server is gone.  Back off and re-resolve instead of dying:
+        // queued calls fail now (their handlers must not hang), but the
+        // binding heals once a recovered replica re-registers.
+        enter_backoff(b);
         return;
     }
     for (const EndpointId server : b.invited_servers) invite_server(b, server);
@@ -116,8 +121,10 @@ void InvocationService::start_closed_bind(Binding& b) {
     orb_->scheduler().cancel(b.invite_timer);
     const BindingId id = b.id;
     const std::uint64_t attempt = b.attempt;
-    b.invite_timer = orb_->scheduler().schedule_after(
-        kInviteTimeout + 1_s, [this, id, attempt] { on_invite_timeout(id, attempt); });
+    b.invite_timer =
+        orb_->scheduler().schedule_after(b.options.invite_timeout + 1_s, [this, id, attempt] {
+            on_invite_timeout(id, attempt);
+        });
 }
 
 void InvocationService::invite_server(Binding& b, EndpointId server) {
@@ -126,7 +133,7 @@ void InvocationService::invite_server(Binding& b, EndpointId server) {
     encode(e, b.server_group);
     encode(e, endpoint_->id());
     orb_->invoke(directory_->nso_ior(server), kNsoJoinCsMethod, std::move(e).take(),
-                 [](ReplyStatus, const Bytes&) {}, kInviteTimeout);
+                 [](ReplyStatus, const Bytes&) {}, b.options.invite_timeout);
 }
 
 void InvocationService::check_closed_ready(Binding& b, const View& view) {
@@ -184,7 +191,9 @@ std::vector<EndpointId> InvocationService::manager_candidates(const Binding& b) 
     std::vector<EndpointId> out;
     if (info == nullptr) return out;
     for (const EndpointId member : info->contact_hint) {
-        if (!b.failed_managers.contains(member)) out.push_back(member);
+        if (b.failed_managers.contains(member)) continue;
+        if (directory_->known_defunct(member)) continue;
+        out.push_back(member);
     }
     return out;
 }
@@ -192,9 +201,7 @@ std::vector<EndpointId> InvocationService::manager_candidates(const Binding& b) 
 void InvocationService::start_open_bind(Binding& b) {
     const auto candidates = manager_candidates(b);
     if (candidates.empty()) {
-        NEWTOP_WARN("binding " << b.id << ": no live server to bind to");
-        b.state = Binding::State::kDead;
-        fail_all_calls(b);
+        enter_backoff(b);
         return;
     }
     // Restricted group (§4.2): always the leader, so request manager =
@@ -228,15 +235,17 @@ void InvocationService::invite_manager(Binding& b) {
                      if (status == ReplyStatus::kOk) return;  // now wait for the view
                      on_invite_timeout(id, attempt);
                  },
-                 kInviteTimeout);
+                 b.options.invite_timeout);
 
     orb_->scheduler().cancel(b.invite_timer);
-    b.invite_timer = orb_->scheduler().schedule_after(
-        kInviteTimeout + 1_s, [this, id, attempt] { on_invite_timeout(id, attempt); });
+    b.invite_timer =
+        orb_->scheduler().schedule_after(b.options.invite_timeout + 1_s, [this, id, attempt] {
+            on_invite_timeout(id, attempt);
+        });
 }
 
 void InvocationService::on_invite_timeout(BindingId id, std::uint64_t attempt) {
-    if (orb_->network().node(orb_->node_id()).crashed()) return;
+    if (orb_->process_defunct()) return;
     Binding* b = find_binding(id);
     if (b == nullptr || b->state != Binding::State::kJoining || b->attempt != attempt) return;
 
@@ -297,7 +306,7 @@ void InvocationService::rebind(Binding& b) {
         // The monitor group survives; just invite a replacement manager.
         const auto candidates = manager_candidates(b);
         if (candidates.empty()) {
-            b.state = Binding::State::kDead;
+            enter_backoff(b);
             return;
         }
         b.state = Binding::State::kJoining;
@@ -319,6 +328,66 @@ void InvocationService::rebind(Binding& b) {
         start_closed_bind(b);
     } else {
         start_open_bind(b);
+    }
+}
+
+void InvocationService::enter_backoff(Binding& b) {
+    if (b.state == Binding::State::kDead) return;
+    NEWTOP_WARN("binding " << b.id << ": no live server for " << b.service
+                           << "; backing off (round " << b.backoff_round << ")");
+    b.state = Binding::State::kBackoff;
+    orb_->scheduler().cancel(b.invite_timer);
+    b.invite_timer = 0;
+    // Calls can never complete while no server exists; their handlers must
+    // not hang, so fail them now.  New calls fail fast until we re-bind.
+    fail_all_calls(b);
+    // Tear down this attempt's client/server group (the group-to-group
+    // monitor group survives: its membership is shared with the other
+    // clients).  Same re-entrancy dance as rebind(): detach first.
+    if (!b.group_origin) {
+        const GroupId old_group = b.cs_group;
+        b.cs_group = GroupId{};
+        bindings_by_group_.erase(old_group);
+        if (endpoint_->is_member(old_group)) endpoint_->leave_group(old_group);
+    }
+    metrics().add("invocation.backoffs");
+    const std::uint64_t shift = std::min<std::uint64_t>(b.backoff_round, 8);
+    const SimDuration base = std::min(kBackoffCap, kBackoffBase << shift);
+    const auto jitter = static_cast<SimDuration>(
+        backoff_rng_.next_in(0, static_cast<std::uint64_t>(base / 4)));
+    ++b.backoff_round;
+    const BindingId id = b.id;
+    const std::uint64_t round = b.backoff_round;
+    orb_->scheduler().schedule_after(base + jitter,
+                                     [this, id, round] { on_backoff_retry(id, round); });
+}
+
+void InvocationService::on_backoff_retry(BindingId id, std::uint64_t round) {
+    if (orb_->process_defunct()) return;
+    Binding* b = find_binding(id);
+    if (b == nullptr || b->state != Binding::State::kBackoff || b->backoff_round != round) {
+        return;  // unbound, healed, or superseded by a later round
+    }
+    // Written-off managers age out: one of them may be exactly the replica
+    // that recovered.
+    b->failed_managers.clear();
+    const auto candidates = manager_candidates(*b);
+    if (candidates.empty()) {
+        enter_backoff(*b);  // schedules the next, longer retry
+        return;
+    }
+    metrics().add("invocation.backoff_rebinds");
+    b->backoff_round = 0;
+    if (b->group_origin) {
+        // The monitor group is still intact; just invite a new manager.
+        b->state = Binding::State::kJoining;
+        b->manager = candidates.front();
+        ++b->attempt;
+        invite_manager(*b);
+    } else if (b->options.mode == BindMode::kClosed) {
+        start_closed_bind(*b);
+    } else {
+        start_open_bind(*b);
     }
 }
 
@@ -362,7 +431,9 @@ void InvocationService::invoke(BindingId binding, std::uint32_t method, Bytes ar
     call.span.span =
         obs::span_id(call.span.trace, endpoint_->id().value(), obs::SpanRole::kClient);
 
-    if (b->state == Binding::State::kDead) {
+    if (b->state == Binding::State::kDead || b->state == Binding::State::kBackoff) {
+        // Dead, or every server is gone and we are between re-resolution
+        // attempts: fail fast rather than park the call indefinitely.
         complete_call(*b, std::move(call), false);
         return;
     }
@@ -432,6 +503,7 @@ void InvocationService::arm_call_timeout(Binding& b, PendingCall& call) {
     const std::uint64_t seq = call.seq;
     call.timeout =
         orb_->scheduler().schedule_after(b.options.call_timeout, [this, id, seq] {
+            if (orb_->process_defunct()) return;
             Binding* bp = find_binding(id);
             if (bp == nullptr) return;
             const auto it = bp->inflight.find(seq);
@@ -519,9 +591,9 @@ void InvocationService::reevaluate_closed_calls(Binding& b) {
         // Every server left the view.  No reply can ever arrive, and
         // reply_threshold() never returns 0 for two-way modes, so without
         // this the calls hang forever when no call timeout is configured.
+        // Back off and re-resolve: the whole group may come back.
         NEWTOP_WARN("binding " << b.id << ": all servers left the closed view");
-        b.state = Binding::State::kDead;
-        fail_all_calls(b);
+        enter_backoff(b);
         return;
     }
     std::vector<std::uint64_t> done;

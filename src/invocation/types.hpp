@@ -85,6 +85,11 @@ struct BindOptions {
     /// Give up on a call after this long (0 = wait forever; rebinding on
     /// request-manager failure still applies).
     SimDuration call_timeout{0};
+    /// How long an invited request manager / server has to bring the
+    /// client into the client/server group before the binding gives up on
+    /// it and tries the next candidate.  WAN scenarios and recovery tests
+    /// tune this; the default matches the historical hardcoded value.
+    SimDuration invite_timeout{3'000'000};  // 3 s
 };
 
 }  // namespace newtop

@@ -82,9 +82,15 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     arrival = std::max(arrival, last);
     last = arrival;
 
+    // Stamp the message with the destination's current life.  If the
+    // destination crashes and restarts while the message is in flight, the
+    // delivery is addressed to a process that no longer exists and must be
+    // dropped — the reborn process is a fresh group member that never saw
+    // the old connection.
+    const std::uint32_t dst_incarnation = dst.incarnation();
     const SimTime sent_at = scheduler_->now();
-    scheduler_->schedule_at(arrival, [this, from, to, sent_at, counters = &counters,
-                                      payload = std::move(payload)] {
+    scheduler_->schedule_at(arrival, [this, from, to, sent_at, dst_incarnation,
+                                      counters = &counters, payload = std::move(payload)] {
         if (partition_cell_[from.value()] != partition_cell_[to.value()]) {
             ++stats_.messages_lost;
             metrics_.add("net.messages_lost");
@@ -98,6 +104,13 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
             metrics_.add(counters->drops);
             return;
         }
+        if (receiver.incarnation() != dst_incarnation) {
+            ++stats_.messages_lost;
+            metrics_.add("net.messages_lost");
+            metrics_.add("net.stale_incarnation_drops");
+            metrics_.add(counters->drops);
+            return;
+        }
         ++stats_.messages_delivered;
         metrics_.add("net.messages_delivered");
         metrics_.observe("net.delivery_latency_us", scheduler_->now() - sent_at);
@@ -105,7 +118,27 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     });
 }
 
-void Network::crash(NodeId id) { node(id).crash(); }
+void Network::crash(NodeId id) {
+    Node& n = node(id);
+    if (n.crashed()) {
+        metrics_.add("net.crash_ignored");
+        return;
+    }
+    n.crash();
+    metrics_.add("net.crashes");
+}
+
+void Network::restart(NodeId id, SimDuration delay) {
+    NEWTOP_EXPECTS(delay >= 0, "restart delay must be non-negative");
+    NEWTOP_EXPECTS(id.value() < nodes_.size(), "unknown node");
+    scheduler_->schedule_after(delay, [this, id] {
+        if (node(id).restart()) {
+            metrics_.add("net.restarts");
+        } else {
+            metrics_.add("net.restart_ignored");
+        }
+    });
+}
 
 void Network::set_partition(NodeId id, int cell) {
     NEWTOP_EXPECTS(id.value() < nodes_.size(), "unknown node");

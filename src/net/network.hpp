@@ -48,8 +48,16 @@ public:
     /// silent no-op (the process no longer exists).
     void send(NodeId from, NodeId to, Bytes payload);
 
-    /// Crash-stop a node.
+    /// Crash-stop a node.  Crashing an already-crashed node is a
+    /// deterministic no-op, counted as net.crash_ignored (fault plans may
+    /// legitimately hit the same node twice).
     void crash(NodeId id);
+
+    /// Schedule a crashed node to restart after `delay`.  When the timer
+    /// fires the node comes back with a bumped incarnation (see
+    /// Node::restart()); restarting a node that is alive at that point is a
+    /// deterministic no-op, counted as net.restart_ignored.
+    void restart(NodeId id, SimDuration delay);
 
     // -- Partitions --------------------------------------------------------
     // Each node lives in a partition cell (default 0).  Messages are only

@@ -145,6 +145,11 @@ void NewTopService::add_view_observer(ViewObserver observer) {
 }
 
 void NewTopService::route_view_change(const GroupCommEndpoint::ViewChangeEvent& event) {
+    // Re-assert our NSO registration: directory eviction is suspicion-
+    // based and advisory, so a falsely evicted (partitioned, lossy-link)
+    // NSO heals itself the next time it proves liveness by installing a
+    // view.
+    directory_->register_nso(endpoint_.id(), management_ior_);
     for (const auto& observer : view_observers_) observer(event);
     if (const auto peer = peers_.find(event.view.group); peer != peers_.end()) {
         if (peer->second.view_handler) peer->second.view_handler(event.view);

@@ -28,7 +28,8 @@ Bytes encode_request(std::uint64_t request_id, bool oneway, ObjectKey key, std::
 }  // namespace
 
 Orb::Orb(Network& network, NodeId node)
-    : network_(&network), node_(node), adapter_(node) {
+    : network_(&network), node_(node),
+      incarnation_(network.node(node).incarnation()), adapter_(node) {
     network_->node(node_).set_receiver(
         [this](NodeId from, const Bytes& payload) { on_message(from, payload); });
 }
@@ -36,6 +37,7 @@ Orb::Orb(Network& network, NodeId node)
 OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, Bytes args, ReplyHandler handler,
                       SimDuration timeout) {
     NEWTOP_EXPECTS(handler != nullptr, "two-way invoke needs a reply handler");
+    if (process_defunct()) return OrbCallId(0);
     metrics().add("orb.invocations");
     const std::uint64_t request_id = next_request_id_++;
     Pending pending{std::move(handler), 0};
@@ -57,6 +59,7 @@ OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, Bytes args, Reply
 }
 
 void Orb::invoke_oneway(const Ior& target, std::uint32_t method, Bytes args) {
+    if (process_defunct()) return;
     metrics().add("orb.oneways");
     Bytes wire = encode_request(/*request_id=*/0, /*oneway=*/true, target.key, method, args);
     Node& self = network_->node(node_);
@@ -172,6 +175,9 @@ void Orb::complete(std::uint64_t request_id, ReplyStatus status, const Bytes& pa
     ReplyHandler handler = std::move(it->second.handler);
     scheduler().cancel(it->second.timer);
     pending_.erase(it);
+    // A dead process runs no completion handlers; the entry is still
+    // reaped above so a timeout timer from a previous life cannot leak it.
+    if (process_defunct()) return;
     handler(status, payload);
 }
 

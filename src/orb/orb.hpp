@@ -46,6 +46,21 @@ public:
     Scheduler& scheduler() { return network_->scheduler(); }
     Network& network() { return *network_; }
 
+    /// Which life of the node this ORB belongs to (captured at
+    /// construction).
+    [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+
+    /// True when the process this ORB belongs to no longer exists: the node
+    /// is crashed, or it restarted and a newer incarnation owns the host.
+    /// Every layer's timer callbacks check this instead of Node::crashed()
+    /// so that timers armed by a previous life stay dead after a restart
+    /// (a restarted node must not resurrect its predecessor's protocol
+    /// state).
+    [[nodiscard]] bool process_defunct() const {
+        const Node& n = network_->node(node_);
+        return n.crashed() || n.incarnation() != incarnation_;
+    }
+
     /// Two-way invocation.  `timeout` == 0 means wait forever (only safe
     /// when the target cannot fail).  The handler runs on this node's CPU.
     OrbCallId invoke(const Ior& target, std::uint32_t method, Bytes args,
@@ -81,6 +96,7 @@ private:
 
     Network* network_;
     NodeId node_;
+    std::uint32_t incarnation_;
     ObjectAdapter adapter_;
     std::uint64_t next_request_id_{1};
     // Ordered by request id so iteration (timeout sweeps, drain-on-shutdown)

@@ -99,6 +99,17 @@ public:
 
     void on_view(const GroupCommEndpoint::ViewChangeEvent& event) {
         if (event.view.group != server_group()) return;
+        if (!synced_ && event.view.members.size() == 1 &&
+            event.view.members.front() == nso_->id()) {
+            // Re-founded lineage after whole-group death: nobody survived to
+            // donate state, so the service restarts from this replica's
+            // fresh state.  Requests refused while we waited already failed
+            // at their clients; they are not part of the new history.
+            buffered_.clear();
+            install_snapshot(app_->snapshot());
+            nso_->metrics().add("replication.state_refounds");
+            return;
+        }
         // The senior continuing member becomes the snapshot donor for every
         // joiner in the new view.
         std::vector<EndpointId> continuing;
@@ -115,6 +126,9 @@ public:
         if (synced_ || retry_timer_ != 0) return;
         retry_timer_ = nso_->orb().scheduler().schedule_after(kStateRetry, [self =
                                                                                 shared_from_this()] {
+            // The retry loop dies with its process: after a node restart a
+            // fresh replica (new NSO, new shim) owns the recovery.
+            if (self->nso_->orb().process_defunct()) return;
             self->retry_timer_ = 0;
             if (self->synced_) return;
             self->request_state();

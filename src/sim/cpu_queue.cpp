@@ -36,4 +36,9 @@ void CpuQueue::kill() {
     dead_ = true;
 }
 
+void CpuQueue::revive() {
+    reset();
+    dead_ = false;
+}
+
 }  // namespace newtop

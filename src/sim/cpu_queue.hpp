@@ -44,8 +44,15 @@ public:
 
     /// Permanently stop the CPU: queued work is dropped and all future
     /// execute() calls become no-ops.  Models crash-stop — a dead process
-    /// runs nothing, ever.
+    /// runs nothing (until the host is explicitly restarted, see revive()).
     void kill();
+
+    /// Bring a killed CPU back to life with an empty queue, as if the host
+    /// had been power-cycled: the epoch bump from the embedded reset()
+    /// suppresses any completion that was in flight when the CPU died, and
+    /// new execute() calls run normally again.  Restores the accounting to
+    /// a fresh-boot state.
+    void revive();
 
 private:
     Scheduler* scheduler_;

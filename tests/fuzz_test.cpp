@@ -54,10 +54,13 @@ TEST(ScenarioGenerator, RespectsLimits) {
             EXPECT_LE(c.calls, 3);
             EXPECT_GT(c.call_timeout_us, 0);
         }
-        // Paired heals may exceed the raw fault budget; crash/partition/loss
-        // events themselves may not.
+        // Paired heals and restarts may exceed the raw fault budget;
+        // crash/partition/loss events themselves may not.
         int primary = 0;
-        for (const FaultSpec& f : s.faults) primary += f.kind != FaultSpec::Kind::kHeal;
+        for (const FaultSpec& f : s.faults) {
+            primary += f.kind != FaultSpec::Kind::kHeal &&
+                       f.kind != FaultSpec::Kind::kRestart;
+        }
         EXPECT_LE(primary, 1);
         EXPECT_TRUE(std::is_sorted(s.faults.begin(), s.faults.end(),
                                    [](const FaultSpec& a, const FaultSpec& b) {

@@ -260,7 +260,26 @@ TEST(SequencerOrder, AssignmentLogKeepsDeliveredEntries) {
     SequencerOrder order;
     order.reset({kA, kB}, kA);
     order.on_data(data(kB, 0, 1));
-    order.take_deliverable();
+    order.take_order_to_send();
+    EXPECT_EQ(order.take_deliverable().size(), 1u);
+    EXPECT_EQ(order.assignment_log().size(), 1u);
+}
+
+// The sequencer must not deliver — nor expose through the flushed
+// assignment log — an order it has not yet handed out for broadcast.  A
+// private arrival order influenced nobody; if a view change strikes first,
+// every fragment's cut must fall back to the same (ts, sender) rule.
+// Regression for a divergence found by the chaos campaign: the sequencer
+// assigned orders mid-view-change (when order records are never sent),
+// flushed them, and delivered a cut contradicting the other fragment's.
+TEST(SequencerOrder, UnsentAssignmentsNeitherDeliverNorReachTheLog) {
+    SequencerOrder order;
+    order.reset({kA, kB}, kA);
+    order.on_data(data(kB, 0, 1));
+    EXPECT_TRUE(order.take_deliverable().empty());
+    EXPECT_TRUE(order.assignment_log().empty());
+    order.take_order_to_send();
+    EXPECT_EQ(order.take_deliverable().size(), 1u);
     EXPECT_EQ(order.assignment_log().size(), 1u);
 }
 
