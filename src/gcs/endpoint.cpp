@@ -403,11 +403,11 @@ void GroupCommEndpoint::pump(Group& g) {
             ordered = g.symmetric.take_deliverable();
             break;
         case OrderMode::kTotalAsymmetric: {
-            // If we are the sequencer, publish fresh assignments first so the
-            // order record precedes nothing it references on our stream.
-            if (auto order = g.sequencer.take_order_to_send()) {
-                send_data(g, DataKind::kOrder, encode_order_payload(*order));
-            }
+            // Sequencer: fresh assignments are not broadcast inline — the
+            // flush runs at the end of the current event step, so every data
+            // ref assigned at this instant shares one multi-assignment ORDER
+            // broadcast instead of costing one broadcast each.
+            schedule_order_flush(g);
             ordered = g.sequencer.take_deliverable();
             break;
         }
@@ -424,6 +424,37 @@ void GroupCommEndpoint::pump(Group& g) {
     metrics().observe("gcs.holdback_depth", static_cast<SimDuration>(holdback));
     for (auto& msg : ordered) g.release_queue.push_back(std::move(msg));
     try_release_all();
+}
+
+void GroupCommEndpoint::schedule_order_flush(Group& g) {
+    if (!g.sequencer.is_sequencer() || g.sequencer.fresh_count() == 0) return;
+    if (g.order_flush_timer != 0) return;
+    const GroupId id = g.id;
+    // Zero delay: the scheduler's FIFO tie-break at equal timestamps runs
+    // this after every already-queued delivery at the current instant, so
+    // the flush sees the whole event step's assignments.
+    g.order_flush_timer = orb_->scheduler().schedule_after(0, [this, id] { on_order_flush(id); });
+}
+
+void GroupCommEndpoint::flush_order(Group& g) {
+    while (auto order = g.sequencer.take_order_to_send()) {
+        metrics().observe("gcs.order_batch_refs", static_cast<SimDuration>(order->refs.size()));
+        send_data(g, DataKind::kOrder, encode_order_payload(*order));
+    }
+}
+
+void GroupCommEndpoint::on_order_flush(GroupId id) {
+    if (process_crashed()) return;
+    Group* g = find_group(id);
+    if (g == nullptr) return;
+    g->order_flush_timer = 0;
+    // During a view change order records are never sent; the unsent
+    // assignments are deliberately invisible to the flush (assignment_log)
+    // and the cut's (ts, sender) fallback orders those refs instead.
+    if (g->state != Group::State::kNormal || !g->installed) return;
+    flush_order(*g);
+    pump(*g);
+    kick_liveness(*g);
 }
 
 void GroupCommEndpoint::try_release(Group& g) {

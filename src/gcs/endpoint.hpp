@@ -162,6 +162,11 @@ private:
         // stability
         std::map<EndpointId, std::map<EndpointId, Seqno>> stability_reports;
 
+        /// Pending end-of-event-step ORDER flush (sequencer only): all data
+        /// refs assigned while this is armed ride one multi-assignment ORDER
+        /// broadcast instead of one broadcast each.
+        TimerId order_flush_timer{0};
+
         // liveness timers
         TimerId silence_timer{0};
         TimerId progress_timer{0};
@@ -218,6 +223,9 @@ private:
     void handle_nack(const NackMsg& msg);
     void ingest_in_order(Group& g, DataMsg msg);
     void pump(Group& g);
+    void schedule_order_flush(Group& g);
+    void flush_order(Group& g);
+    void on_order_flush(GroupId id);
     void release_ordered(Group& g, std::vector<DataMsg> ordered);
     void try_release(Group& g);
     void try_release_all();

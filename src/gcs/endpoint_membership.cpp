@@ -392,6 +392,8 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     stop_liveness(g);
     orb_->scheduler().cancel(g.vc_timer);
     g.vc_timer = 0;
+    orb_->scheduler().cancel(g.order_flush_timer);
+    g.order_flush_timer = 0;
     for (auto& [member, stream] : g.inbound) {
         orb_->scheduler().cancel(stream.nack_timer);
         stream.nack_timer = 0;

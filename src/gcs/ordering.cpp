@@ -105,15 +105,20 @@ void SequencerOrder::on_order(const OrderMsg& msg) {
     }
 }
 
-std::optional<OrderMsg> SequencerOrder::take_order_to_send() {
+std::optional<OrderMsg> SequencerOrder::take_order_to_send(std::size_t max_refs) {
     if (fresh_assignments_.empty()) return std::nullopt;
+    const std::size_t take = (max_refs == 0)
+                                 ? fresh_assignments_.size()
+                                 : std::min(max_refs, fresh_assignments_.size());
     OrderMsg out;
     out.first_order = next_assign_ - fresh_assignments_.size();
-    for (std::size_t i = 0; i < fresh_assignments_.size(); ++i) {
+    for (std::size_t i = 0; i < take; ++i) {
         log_.emplace(out.first_order + i, fresh_assignments_[i]);
     }
-    out.refs = std::move(fresh_assignments_);
-    fresh_assignments_.clear();
+    out.refs.assign(fresh_assignments_.begin(),
+                    fresh_assignments_.begin() + static_cast<std::ptrdiff_t>(take));
+    fresh_assignments_.erase(fresh_assignments_.begin(),
+                             fresh_assignments_.begin() + static_cast<std::ptrdiff_t>(take));
     return out;
 }
 

@@ -89,8 +89,13 @@ public:
     void on_order(const OrderMsg& msg);
 
     /// If this member is the sequencer and new assignments were made,
-    /// returns the order record to multicast.
-    std::optional<OrderMsg> take_order_to_send();
+    /// returns the order record to multicast, covering at most `max_refs`
+    /// fresh assignments (0 = all of them).  Call repeatedly to drain.
+    std::optional<OrderMsg> take_order_to_send(std::size_t max_refs = 0);
+
+    /// Assignments made but not yet handed out for broadcast — the batch an
+    /// ORDER flush would cover.
+    [[nodiscard]] std::size_t fresh_count() const { return fresh_assignments_.size(); }
 
     /// Messages now deliverable, in global order.
     std::vector<DataMsg> take_deliverable();
