@@ -1,0 +1,157 @@
+// LAN saturation — sustained data-plane throughput with and without the
+// batched ordering window (send coalescing + multi-assignment ORDER
+// records + arena CDR).
+//
+// Unlike the paper's closed-loop request/reply experiments, this bench
+// flood-feeds senders faster than the unbatched pipeline can drain, so the
+// per-message protocol overhead (one stream slot + one ORDER assignment +
+// stability traffic per payload) becomes the bottleneck.  The batched mode
+// coalesces queued payloads into shared stream slots under credit-based
+// flow control; the figure of merit is sustained delivered
+// invocations/sec, and the acceptance bar for this artifact is a >=5x
+// speedup of batched over unbatched.
+//
+// Emits BENCH_saturation.json (override the path with NEWTOP_BENCH_OUT)
+// and the standard deterministic `# metrics` line.
+#include "harness.hpp"
+
+#include "gcs/endpoint.hpp"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::bench;
+
+struct SaturationOptions {
+    std::size_t order_window{16};  // 0 = unbatched (pre-window behaviour)
+    std::size_t order_max_batch{64};
+    int members{3};
+    int senders{2};
+    int burst{16};               // payloads submitted per feed tick
+    SimDuration feed_interval{2_ms};
+    SimDuration warmup{1_s};
+    SimDuration measured{5_s};
+    std::size_t payload_bytes{32};
+    std::uint64_t seed{1};
+};
+
+struct SaturationResult {
+    double invocations_per_sec{0.0};
+    std::uint64_t delivered{0};
+    std::uint64_t wire_messages{0};
+    std::string metrics_json;
+};
+
+/// One flood run: `senders` members feed open-loop bursts into an
+/// asymmetric-order group; deliveries are counted at the sequencer.
+SaturationResult run_saturation(const SaturationOptions& options) {
+    Scheduler scheduler;
+    Network network(scheduler, calibration::make_lan_topology(), options.seed);
+    Directory directory;
+
+    std::vector<std::unique_ptr<Orb>> orbs;
+    std::vector<std::unique_ptr<GroupCommEndpoint>> endpoints;
+    for (int i = 0; i < options.members; ++i) {
+        orbs.push_back(std::make_unique<Orb>(network, network.add_node(SiteId(0))));
+        endpoints.push_back(std::make_unique<GroupCommEndpoint>(*orbs.back(), directory));
+    }
+
+    GroupConfig config;
+    config.order = OrderMode::kTotalAsymmetric;
+    config.order_window = options.order_window;
+    config.order_max_batch = options.order_max_batch;
+    const GroupId group = endpoints[0]->create_group("saturation", config);
+    for (int i = 1; i < options.members; ++i) endpoints[i]->join_group("saturation");
+    scheduler.run_until(scheduler.now() + 500_ms);
+
+    std::uint64_t observed = 0;
+    endpoints[0]->set_deliver_handler(
+        [&observed](const GroupCommEndpoint::Delivery&) { ++observed; });
+
+    // Open-loop feeders: the last `senders` members (never the sequencer)
+    // each submit a burst every feed tick until the end of the run.
+    const SimTime stop_feeding =
+        scheduler.now() + options.warmup + options.measured;
+    const Bytes payload(options.payload_bytes, 0xb7);
+    for (int s = 0; s < options.senders; ++s) {
+        GroupCommEndpoint* ep = endpoints[options.members - 1 - s].get();
+        auto feed = std::make_shared<std::function<void()>>();
+        *feed = [&scheduler, ep, group, &payload, &options, stop_feeding, feed] {
+            for (int k = 0; k < options.burst; ++k) ep->multicast(group, payload);
+            if (scheduler.now() + options.feed_interval < stop_feeding) {
+                scheduler.schedule_after(options.feed_interval, [feed] { (*feed)(); });
+            }
+        };
+        scheduler.schedule_after(SimDuration{s + 1}, [feed] { (*feed)(); });
+    }
+
+    scheduler.run_until(scheduler.now() + options.warmup);
+    const std::uint64_t delivered_before = observed;
+    const std::uint64_t wire_before = network.stats().messages_sent;
+    scheduler.run_until(scheduler.now() + options.measured);
+
+    SaturationResult result;
+    result.delivered = observed - delivered_before;
+    result.wire_messages = network.stats().messages_sent - wire_before;
+    result.invocations_per_sec =
+        static_cast<double>(result.delivered) / to_seconds(options.measured);
+    result.metrics_json = network.metrics().to_json();
+    return result;
+}
+
+std::string json_mode(const char* name, const SaturationOptions& options,
+                      const SaturationResult& result) {
+    std::string out = "{\"name\":\"";
+    out += name;
+    out += "\",\"order_window\":" + std::to_string(options.order_window);
+    out += ",\"order_max_batch\":" + std::to_string(options.order_max_batch);
+    out += ",\"delivered\":" + std::to_string(result.delivered);
+    out += ",\"wire_messages\":" + std::to_string(result.wire_messages);
+    out += ",\"invocations_per_sec\":" + std::to_string(result.invocations_per_sec);
+    out += "}";
+    return out;
+}
+
+void write_artifact(const SaturationOptions& unbatched_options,
+                    const SaturationResult& unbatched,
+                    const SaturationOptions& batched_options,
+                    const SaturationResult& batched, double speedup) {
+    // newtop-lint: allow(getenv): artifact destination only; cannot influence simulated behaviour
+    const char* out_path = std::getenv("NEWTOP_BENCH_OUT");
+    const std::filesystem::path path =
+        (out_path != nullptr && *out_path != '\0') ? out_path : "BENCH_saturation.json";
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"bench\":\"saturation\",\"setting\":\"lan\",\"seed\":"
+        << unbatched_options.seed << ",\"modes\":["
+        << json_mode("unbatched", unbatched_options, unbatched) << ","
+        << json_mode("batched", batched_options, batched) << "],\"speedup\":" << speedup
+        << "}\n";
+    out.close();
+    std::cout << "# artifact " << path.string() << "\n";
+}
+
+void BM_Saturation_Lan(benchmark::State& state) {
+    for (auto _ : state) {
+        SaturationOptions unbatched_options;
+        unbatched_options.order_window = 0;  // pre-window behaviour
+        const SaturationResult unbatched = run_saturation(unbatched_options);
+
+        SaturationOptions batched_options;  // defaults: window 16, batch 64
+        const SaturationResult batched = run_saturation(batched_options);
+
+        const double speedup = unbatched.invocations_per_sec > 0
+                                   ? batched.invocations_per_sec /
+                                         unbatched.invocations_per_sec
+                                   : 0.0;
+        state.counters["unbatched_inv_per_s"] = unbatched.invocations_per_sec;
+        state.counters["batched_inv_per_s"] = batched.invocations_per_sec;
+        state.counters["speedup"] = speedup;
+        write_artifact(unbatched_options, unbatched, batched_options, batched, speedup);
+        emit_metrics(batched.metrics_json);
+    }
+}
+BENCHMARK(BM_Saturation_Lan)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,7 +20,7 @@ using namespace newtop::sim_literals;
 
 class RandomServant : public Servant {
 public:
-    Bytes dispatch(std::uint32_t, const Bytes&) override {
+    Bytes dispatch(std::uint32_t, BytesView) override {
         return encode_to_bytes(rng_.next_u64());
     }
 

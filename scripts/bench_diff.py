@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_saturation.json artifacts and warn on regressions.
+
+Usage: bench_diff.py CURRENT PREVIOUS [--threshold PCT]
+
+Prints a per-mode throughput comparison.  A mode whose invocations_per_sec
+dropped by more than the threshold (default 10%) produces a WARNING line;
+the exit code stays 0 (the diff is advisory -- sim-time throughput is
+deterministic, so a warning means the *code* got slower, not the machine).
+Pass --strict to turn warnings into a non-zero exit.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_modes(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return {m["name"]: m for m in doc.get("modes", [])}, doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("previous")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression warning threshold in percent")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a regression is found")
+    args = parser.parse_args()
+
+    current, cur_doc = load_modes(args.current)
+    previous, _ = load_modes(args.previous)
+
+    regressed = False
+    for name, mode in current.items():
+        now = mode.get("invocations_per_sec", 0.0)
+        if name not in previous:
+            print(f"{name}: {now:.0f} inv/s (no previous data)")
+            continue
+        before = previous[name].get("invocations_per_sec", 0.0)
+        delta = 0.0 if before == 0 else (now - before) / before * 100.0
+        line = f"{name}: {before:.0f} -> {now:.0f} inv/s ({delta:+.1f}%)"
+        if delta < -args.threshold:
+            regressed = True
+            print(f"WARNING: throughput regression over {args.threshold:.0f}%: {line}")
+        else:
+            print(line)
+
+    speedup = cur_doc.get("speedup")
+    if speedup is not None:
+        print(f"batched/unbatched speedup: {speedup:.2f}x")
+
+    return 1 if (regressed and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

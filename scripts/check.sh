@@ -5,7 +5,7 @@
 # is exercised routinely rather than manually.  Both trees build with
 # NEWTOP_WERROR=ON (the default).
 #
-# Usage: scripts/check.sh [--lint] [--tidy] [--campaign [N]] [extra ctest args...]
+# Usage: scripts/check.sh [--lint] [--tidy] [--campaign [N]] [--bench] [extra ctest args...]
 #
 #   (default)        run the tier-1 suite (ctest -L tier1) in both trees
 #   --lint           fast path: build only newtop_lint and scan the tree,
@@ -17,6 +17,11 @@
 #                    (default 200) in both trees.  On failure the campaign
 #                    prints the failing seed; replay it with
 #                        NEWTOP_FUZZ_SEED=<seed> build/tools/newtop_fuzz
+#   --bench          fast path: build and run the LAN saturation benchmark,
+#                    writing BENCH_saturation.json; if a previous artifact
+#                    exists (BENCH_saturation.prev.json, or the path in
+#                    NEWTOP_BENCH_BASELINE), diff throughput against it and
+#                    warn on a >10% regression; no tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,10 +31,15 @@ LINT_ONLY=0
 TIDY=0
 CAMPAIGN=0
 CAMPAIGN_SEEDS=200
+BENCH_ONLY=0
 while [[ "${1:-}" == --* ]]; do
     case "$1" in
         --lint)
             LINT_ONLY=1
+            shift
+            ;;
+        --bench)
+            BENCH_ONLY=1
             shift
             ;;
         --tidy)
@@ -50,6 +60,24 @@ while [[ "${1:-}" == --* ]]; do
     esac
 done
 EXTRA_CTEST_ARGS=("$@")
+
+if [[ "${BENCH_ONLY}" == 1 ]]; then
+    echo "== bench_saturation (build)"
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "${JOBS}" --target bench_saturation
+    echo "== bench_saturation (run)"
+    NEWTOP_BENCH_OUT=BENCH_saturation.json \
+        build/bench/bench_saturation --benchmark_filter=BM_Saturation_Lan
+    BASELINE="${NEWTOP_BENCH_BASELINE:-BENCH_saturation.prev.json}"
+    if [[ -f "${BASELINE}" ]]; then
+        echo "== throughput diff vs ${BASELINE}"
+        python3 scripts/bench_diff.py BENCH_saturation.json "${BASELINE}"
+    else
+        echo "== no previous artifact (${BASELINE}); skipping throughput diff"
+    fi
+    echo "== bench artifact written to BENCH_saturation.json"
+    exit 0
+fi
 
 if [[ "${LINT_ONLY}" == 1 ]]; then
     echo "== newtop_lint (build)"

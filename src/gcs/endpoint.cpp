@@ -47,7 +47,7 @@ class GroupCommEndpoint::GcsServant : public Servant {
 public:
     explicit GcsServant(GroupCommEndpoint* owner) : owner_(owner) {}
 
-    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+    Bytes dispatch(std::uint32_t method, BytesView args) override {
         if (method != kGcsDeliverMethod) throw ServantError("unknown GCS method");
         owner_->on_wire(args);
         return {};
@@ -127,7 +127,7 @@ obs::MetricsRegistry& GroupCommEndpoint::metrics() const {
     return orb_->network().metrics();
 }
 
-void GroupCommEndpoint::on_wire(const Bytes& payload) {
+void GroupCommEndpoint::on_wire(BytesView payload) {
     if (process_crashed()) return;
     GcsMessage msg;
     try {
@@ -235,12 +235,61 @@ void GroupCommEndpoint::multicast(GroupId group, Bytes payload) {
         g->blocked_sends.push_back(std::move(payload));
         return;
     }
-    send_data(*g, DataKind::kApplication, std::move(payload));
+    submit_send(*g, std::move(payload));
 }
 
 // -- data path ------------------------------------------------------------------
 
-void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload) {
+void GroupCommEndpoint::submit_send(Group& g, Bytes payload) {
+    const std::size_t window = g.config.order_window;
+    // FIFO: once anything is queued, later sends queue behind it even if a
+    // credit is momentarily free.
+    if (window != 0 && (g.inflight_sends >= window || !g.coalesce_queue.empty())) {
+        g.coalesce_queue.push_back(std::move(payload));
+        metrics().add("gcs.sends_coalesced");
+        drain_coalesced(g);  // a credit may be free when the queue is fresh
+        return;
+    }
+    if (window != 0) ++g.inflight_sends;
+    send_data(g, DataKind::kApplication, std::move(payload));
+}
+
+void GroupCommEndpoint::drain_coalesced(Group& g) {
+    if (draining_coalesced_ || g.state != Group::State::kNormal || !g.installed) return;
+    const std::size_t window = g.config.order_window;
+    if (window == 0) return;
+    draining_coalesced_ = true;
+    while (!g.coalesce_queue.empty() && g.inflight_sends < window) {
+        Bytes head = std::move(g.coalesce_queue.front());
+        g.coalesce_queue.pop_front();
+        std::vector<Bytes> batch;
+        const std::size_t max_batch = std::max<std::size_t>(g.config.order_max_batch, 1);
+        while (!g.coalesce_queue.empty() && batch.size() + 1 < max_batch) {
+            batch.push_back(std::move(g.coalesce_queue.front()));
+            g.coalesce_queue.pop_front();
+        }
+        metrics().observe("gcs.send_batch_payloads",
+                          static_cast<SimDuration>(1 + batch.size()));
+        ++g.inflight_sends;
+        send_data(g, DataKind::kApplication, std::move(head), std::move(batch));
+    }
+    draining_coalesced_ = false;
+}
+
+void GroupCommEndpoint::park_coalesced(Group& g) {
+    // A view change interrupts the window: queued payloads have no seqno
+    // yet, so no flush covers them.  Move them (ahead of anything blocked
+    // later during the change) so the install drain resubmits them in the
+    // new view in their original order.
+    if (g.coalesce_queue.empty()) return;
+    g.blocked_sends.insert(g.blocked_sends.begin(),
+                           std::make_move_iterator(g.coalesce_queue.begin()),
+                           std::make_move_iterator(g.coalesce_queue.end()));
+    g.coalesce_queue.clear();
+}
+
+void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload,
+                                  std::vector<Bytes> batch) {
     const SimTime now = orb_->scheduler().now();
     DataMsg msg;
     msg.group = g.id;
@@ -250,6 +299,7 @@ void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload) {
     msg.kind = kind;
     msg.sent_at = now;
     msg.payload = std::move(payload);
+    msg.batch = std::move(batch);
     if (kind == DataKind::kNull) {
         msg.seq = 0;  // nulls are ephemeral: no stream seqno, no retransmit
         msg.received_counts = received_counts(g);
@@ -497,12 +547,14 @@ bool GroupCommEndpoint::barrier_satisfied(const DataMsg& msg) const {
 
 void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
     NEWTOP_ENSURES(msg.kind == DataKind::kApplication, "only application data is delivered");
+    const std::uint64_t payloads = 1 + msg.batch.size();
     g.delivered_refs.insert(MsgRef{msg.sender, msg.seq});
-    ++g.delivered_count;
-    metrics().add("gcs.delivered");
+    g.delivered_count += payloads;
+    metrics().add("gcs.delivered", payloads);
     metrics().observe("gcs.delivery_latency_us", orb_->scheduler().now() - msg.sent_at);
     // subject = group, detail = the delivered {epoch, sender, seq} ref: the
     // raw material for the oracle's total-order / virtual-synchrony checks.
+    // A coalesced batch shares one ref, so it stays one oracle event.
     metrics().trace(obs::TraceKind::kDataDelivered, orb_->scheduler().now(), id_.value(),
                     g.id.value(),
                     obs::pack_delivered_ref(msg.epoch, msg.sender.value(), msg.seq));
@@ -513,13 +565,30 @@ void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
     note_knowledge(g.id, msg.epoch, msg.sender, msg.seq + 1);
     merge_knowledge(msg.knowledge);
 
-    if (!deliver_handler_) return;
-    // Hand the message to the application object over the colocated ORB
-    // boundary (message m3 of fig. 9): costs CPU but no wire traffic.
-    Delivery delivery{g.id, msg.sender, msg.ts, std::move(msg.payload)};
-    orb_->network().node(orb_->node_id()).cpu().execute(
-        calibration::kLocalHandoffCost,
-        [handler = deliver_handler_, delivery = std::move(delivery)] { handler(delivery); });
+    const bool own = msg.sender == id_;
+    if (deliver_handler_) {
+        // Hand each payload to the application object over the colocated ORB
+        // boundary (message m3 of fig. 9): costs CPU but no wire traffic.
+        // Coalesced payloads unpack here, in their submission order.
+        auto hand_off = [&](Bytes payload) {
+            Delivery delivery{g.id, msg.sender, msg.ts, std::move(payload)};
+            orb_->network().node(orb_->node_id()).cpu().execute(
+                calibration::kLocalHandoffCost,
+                [handler = deliver_handler_, delivery = std::move(delivery)] {
+                    handler(delivery);
+                });
+        };
+        hand_off(std::move(msg.payload));
+        for (Bytes& extra : msg.batch) hand_off(std::move(extra));
+    }
+
+    // Self-delivery returns a window credit; drain *after* the handler
+    // hand-offs above are queued so a synchronously-delivered drained send
+    // cannot jump ahead of this message at the application.
+    if (own && g.config.order_window != 0) {
+        if (g.inflight_sends > 0) --g.inflight_sends;
+        drain_coalesced(g);
+    }
 }
 
 // -- causal knowledge ------------------------------------------------------------

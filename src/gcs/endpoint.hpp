@@ -147,6 +147,14 @@ private:
         /// spoken past the head, further nulls cannot unblock anyone.
         Lamport last_sent_ts{0};
         std::vector<Bytes> blocked_sends;
+        /// Flow control: own application DataMsgs in flight (sent but not
+        /// yet self-delivered).  Credit-based — bounded by
+        /// config.order_window; each send consumes a credit, each
+        /// self-delivery returns one.
+        std::size_t inflight_sends{0};
+        /// Multicast payloads awaiting a window credit; drained (coalesced
+        /// up to config.order_max_batch per DataMsg) as credits return.
+        std::deque<Bytes> coalesce_queue;
 
         // receive side
         std::map<EndpointId, InboundStream> inbound;
@@ -210,7 +218,7 @@ private:
     [[nodiscard]] bool process_crashed() const;
     /// The world's metrics registry (owned by the Network).
     [[nodiscard]] obs::MetricsRegistry& metrics() const;
-    void on_wire(const Bytes& payload);
+    void on_wire(BytesView payload);
     void send_wire(EndpointId to, const GcsMessage& msg);
     void multicast_wire(const Group& g, const GcsMessage& msg);
     Group* find_group(GroupId id);
@@ -218,7 +226,10 @@ private:
     Group& ensure_skeleton(GroupId id);
 
     // -- data path (endpoint.cpp) -----------------------------------------------
-    void send_data(Group& g, DataKind kind, Bytes payload);
+    void submit_send(Group& g, Bytes payload);
+    void drain_coalesced(Group& g);
+    void park_coalesced(Group& g);
+    void send_data(Group& g, DataKind kind, Bytes payload, std::vector<Bytes> batch = {});
     void handle_data(DataMsg msg);
     void handle_nack(const NackMsg& msg);
     void ingest_in_order(Group& g, DataMsg msg);
@@ -283,6 +294,11 @@ private:
     std::map<std::pair<GroupId, EndpointId>, std::pair<ViewEpoch, Seqno>> knowledge_;
     /// Joins awaiting completion: group name -> retry timer.
     std::map<std::string, TimerId> pending_joins_;
+
+    /// Re-entrancy guard for drain_coalesced: a drained send can deliver
+    /// synchronously (single-member group), returning a credit and
+    /// re-triggering the drain mid-loop.
+    bool draining_coalesced_{false};
 
     DeliverHandler deliver_handler_;
     ViewHandler view_handler_;

@@ -199,6 +199,7 @@ void GroupCommEndpoint::maybe_start_view_change(Group& g) {
 
 void GroupCommEndpoint::begin_round(Group& g) {
     g.state = Group::State::kViewChange;
+    park_coalesced(g);
     g.leading = true;
     g.vc_epoch = std::max(g.view.epoch, g.vc_epoch) + 1;
     g.vc_coordinator = id_;
@@ -260,6 +261,7 @@ void GroupCommEndpoint::begin_round(Group& g) {
 void GroupCommEndpoint::enter_view_change(Group& g, ViewEpoch new_epoch,
                                           EndpointId coordinator) {
     g.state = Group::State::kViewChange;
+    park_coalesced(g);
     g.leading = false;
     g.vc_epoch = new_epoch;
     g.vc_coordinator = coordinator;
@@ -421,6 +423,7 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     g.leading = false;
     g.next_send_seq = 0;
     g.ever_sent = false;
+    g.inflight_sends = 0;  // the old epoch's in-flight sends died with it
     g.inbound.clear();
     g.delivered_refs.clear();
     g.release_queue.clear();
@@ -480,7 +483,11 @@ void GroupCommEndpoint::resubmit_undelivered(Group& g, const std::set<MsgRef>& d
     std::vector<Bytes> payloads;
     for (const auto& [ref, data] : g.unstable) {
         if (data.sender != id_ || data.kind != DataKind::kApplication) continue;
-        if (!delivered.contains(ref)) payloads.push_back(data.payload);
+        if (delivered.contains(ref)) continue;
+        // A coalesced message resubmits every payload it carried, in their
+        // original submission order.
+        payloads.push_back(data.payload);
+        for (const Bytes& extra : data.batch) payloads.push_back(extra);
     }
     for (Bytes& payload : payloads) g.blocked_sends.push_back(std::move(payload));
 }
@@ -499,10 +506,12 @@ void GroupCommEndpoint::handle_install(const InstallMsg& msg) {
     Group* gp = find_group(msg.group);
     if (gp == nullptr) return;  // we were removed
 
-    // Send what queued up during the change (and any resubmissions).
+    // Send what queued up during the change (and any resubmissions),
+    // through the flow-control gate so a large backlog coalesces instead
+    // of flooding the new view.
     std::vector<Bytes> sends = std::move(gp->blocked_sends);
     gp->blocked_sends.clear();
-    for (Bytes& payload : sends) send_data(*gp, DataKind::kApplication, std::move(payload));
+    for (Bytes& payload : sends) submit_send(*gp, std::move(payload));
 
     maybe_start_view_change(*gp);
     // A follow-up round may have run to completion synchronously and erased

@@ -51,6 +51,7 @@ void encode(Encoder& e, const DataMsg& v) {
     e.put_u8(static_cast<std::uint8_t>(v.kind));
     encode(e, v.knowledge);
     encode(e, v.payload);
+    encode(e, v.batch);
     encode(e, v.received_counts);
     encode(e, v.causal_vc);
     e.put_i64(v.sent_at);
@@ -66,6 +67,7 @@ void decode(Decoder& d, DataMsg& v) {
     v.kind = static_cast<DataKind>(kind);
     decode(d, v.knowledge);
     decode(d, v.payload);
+    decode(d, v.batch);
     decode(d, v.received_counts);
     decode(d, v.causal_vc);
     v.sent_at = d.get_i64();
@@ -191,8 +193,9 @@ GcsMessage decode_as(Decoder& d) {
 
 }  // namespace
 
-Bytes encode_gcs_message(const GcsMessage& msg) {
-    Encoder e;
+namespace {
+
+void write_gcs_message(Encoder& e, const GcsMessage& msg) {
     std::visit(
         [&e](const auto& body) {
             using T = std::decay_t<decltype(body)>;
@@ -214,10 +217,22 @@ Bytes encode_gcs_message(const GcsMessage& msg) {
             }
         },
         msg);
+}
+
+}  // namespace
+
+Bytes encode_gcs_message(const GcsMessage& msg) {
+    // Counting pass first, so the real encode reserves the exact size and
+    // performs at most one allocation regardless of message size.
+    Encoder counter = Encoder::counter();
+    write_gcs_message(counter, msg);
+    Encoder e;
+    e.reserve(counter.size());
+    write_gcs_message(e, msg);
     return std::move(e).take();
 }
 
-GcsMessage decode_gcs_message(const Bytes& wire) {
+GcsMessage decode_gcs_message(BytesView wire) {
     Decoder d(wire);
     const auto tag = static_cast<Tag>(d.get_u8());
     switch (tag) {

@@ -65,6 +65,12 @@ struct DataMsg {
     std::vector<KnowledgeEntry> knowledge;
     /// Application payload (kApplication) — empty for nulls.
     Bytes payload;
+    /// Additional application payloads coalesced under this message's one
+    /// stream slot while the sender's flow-control window was full.  Each
+    /// is delivered as its own application message, in order, immediately
+    /// after `payload`; the batch shares the message's (sender, seq) ref,
+    /// so ordering, stability and view-change cuts treat it atomically.
+    std::vector<Bytes> batch;
     /// Stability piggyback: per member of the current view, how many of
     /// that member's stream messages this sender has received contiguously
     /// from 0.  Carried on nulls; empty on application data.
@@ -156,7 +162,7 @@ using GcsMessage = std::variant<DataMsg, NackMsg, OrderMsg, JoinReq, LeaveReq, S
                                 ProposeMsg, FlushMsg, InstallMsg>;
 
 Bytes encode_gcs_message(const GcsMessage& msg);
-GcsMessage decode_gcs_message(const Bytes& wire);
+GcsMessage decode_gcs_message(BytesView wire);
 
 void encode(Encoder& e, const MsgRef& v);
 void decode(Decoder& d, MsgRef& v);

@@ -104,9 +104,16 @@ public:
         return !data_store_.empty() || !assignment_.empty();
     }
 
-    /// Number of application messages awaiting order or data (diagnostics).
+    /// Number of distinct application messages awaiting order or data
+    /// (diagnostics).  The two pending sets can be disjoint — data waiting
+    /// for its order record, and assigned order numbers whose data has not
+    /// arrived — so this counts their union, not the larger of the two.
     [[nodiscard]] std::size_t pending_count() const {
-        return std::max(data_store_.size(), assignment_.size());
+        std::size_t n = data_store_.size();
+        for (const auto& [order, ref] : assignment_) {
+            if (!data_store_.contains(ref)) ++n;
+        }
+        return n;
     }
 
     /// All *broadcast* assignments learned this epoch (including delivered

@@ -77,6 +77,17 @@ struct GroupConfig {
     /// How often the stability vector is gossiped while active, to prune
     /// retransmission buffers.
     SimDuration stability_period{100'000};  // 100 ms
+    /// Data-plane flow control: how many of this member's own application
+    /// messages may be in flight (sent, not yet self-delivered) before
+    /// further multicasts coalesce instead of going straight to the wire.
+    /// Coalesced payloads ride one DataMsg — one marshalling pass, one
+    /// stream slot, one ordering decision — so a saturated sender batches
+    /// under load instead of stalling.  0 disables the window (every
+    /// multicast ships immediately, the pre-flow-control behaviour).
+    std::size_t order_window{16};
+    /// Maximum application payloads coalesced into a single DataMsg once
+    /// the window is full.
+    std::size_t order_max_batch{64};
 };
 
 }  // namespace newtop

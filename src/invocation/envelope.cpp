@@ -125,8 +125,9 @@ void decode_body(Decoder& d, AggregateEnv& v) {
 
 }  // namespace
 
-Bytes encode_envelope(const InvocationEnvelope& env) {
-    Encoder e;
+namespace {
+
+void write_envelope(Encoder& e, const InvocationEnvelope& env) {
     std::visit(
         [&e](const auto& body) {
             using T = std::decay_t<decltype(body)>;
@@ -139,6 +140,17 @@ Bytes encode_envelope(const InvocationEnvelope& env) {
             encode_body(e, body);
         },
         env);
+}
+
+}  // namespace
+
+Bytes encode_envelope(const InvocationEnvelope& env) {
+    // Counting pass first so the real encode allocates exactly once.
+    Encoder counter = Encoder::counter();
+    write_envelope(counter, env);
+    Encoder e;
+    e.reserve(counter.size());
+    write_envelope(e, env);
     return std::move(e).take();
 }
 

@@ -33,9 +33,11 @@ class DirectServant : public Servant {
 public:
     explicit DirectServant(std::shared_ptr<GroupServant> app) : app_(std::move(app)) {}
 
-    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+    Bytes dispatch(std::uint32_t method, BytesView args) override {
         try {
-            return app_->handle(method, args);
+            // GroupServant::handle owns its argument buffer (the ordered
+            // path hands it an envelope copy); materialize the borrowed view.
+            return app_->handle(method, Bytes(args.begin(), args.end()));
         } catch (const ServantError&) {
             throw;  // propagate as an ORB exception reply
         }

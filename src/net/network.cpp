@@ -90,7 +90,8 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     const std::uint32_t dst_incarnation = dst.incarnation();
     const SimTime sent_at = scheduler_->now();
     scheduler_->schedule_at(arrival, [this, from, to, sent_at, dst_incarnation,
-                                      counters = &counters, payload = std::move(payload)] {
+                                      counters = &counters,
+                                      payload = std::move(payload)]() mutable {
         if (partition_cell_[from.value()] != partition_cell_[to.value()]) {
             ++stats_.messages_lost;
             metrics_.add("net.messages_lost");
@@ -114,7 +115,7 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
         ++stats_.messages_delivered;
         metrics_.add("net.messages_delivered");
         metrics_.observe("net.delivery_latency_us", scheduler_->now() - sent_at);
-        receiver.deliver(from, payload);
+        receiver.deliver(from, std::move(payload));
     });
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "net/ids.hpp"
 #include "sim/cpu_queue.hpp"
@@ -16,7 +17,10 @@ namespace newtop {
 
 class Node {
 public:
-    using Receiver = std::function<void(NodeId from, const Bytes& payload)>;
+    /// The payload is handed over by value: the receiver owns the wire
+    /// buffer and may keep, move, or recycle it (the ORB pools retired
+    /// buffers for its next encode).
+    using Receiver = std::function<void(NodeId from, Bytes payload)>;
     using RestartHook = std::function<void()>;
 
     Node(NodeId id, SiteId site, Scheduler& scheduler)
@@ -51,8 +55,8 @@ public:
     void set_restart_hook(RestartHook hook) { restart_hook_ = std::move(hook); }
 
     /// Called by the network at message-arrival time.
-    void deliver(NodeId from, const Bytes& payload) {
-        if (!crashed_ && receiver_) receiver_(from, payload);
+    void deliver(NodeId from, Bytes payload) {
+        if (!crashed_ && receiver_) receiver_(from, std::move(payload));
     }
 
     /// Crash-stop the node: pending CPU work is dropped and all future

@@ -52,7 +52,7 @@ class NewTopService::ManagementServant : public Servant {
 public:
     explicit ManagementServant(NewTopService* owner) : owner_(owner) {}
 
-    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+    Bytes dispatch(std::uint32_t method, BytesView args) override {
         return owner_->handle_management(method, args);
     }
 
@@ -80,7 +80,7 @@ NewTopService::NewTopService(Orb& orb, Directory& directory)
     endpoint_.set_removed_handler([this](GroupId g) { route_removed(g); });
 }
 
-Bytes NewTopService::handle_management(std::uint32_t method, const Bytes& args) {
+Bytes NewTopService::handle_management(std::uint32_t method, BytesView args) {
     switch (method) {
         case kNsoJoinCsMethod: {
             Decoder d(args);

@@ -156,7 +156,7 @@ private:
     void route_delivery(const GroupCommEndpoint::Delivery& delivery);
     void route_view_change(const GroupCommEndpoint::ViewChangeEvent& event);
     void route_removed(GroupId group);
-    Bytes handle_management(std::uint32_t method, const Bytes& args);
+    Bytes handle_management(std::uint32_t method, BytesView args);
 
     Orb* orb_;
     Directory* directory_;

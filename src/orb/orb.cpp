@@ -13,29 +13,38 @@ namespace {
 constexpr std::uint8_t kMsgRequest = 1;
 constexpr std::uint8_t kMsgReply = 2;
 
-Bytes encode_request(std::uint64_t request_id, bool oneway, ObjectKey key, std::uint32_t method,
-                     const Bytes& args) {
-    Encoder e;
+void write_request(Encoder& e, std::uint64_t request_id, bool oneway, ObjectKey key,
+                   std::uint32_t method, const Bytes& args) {
     e.put_u8(kMsgRequest);
     e.put_u64(request_id);
     e.put_bool(oneway);
     encode(e, key);
     e.put_u32(method);
     e.put_blob(args);
-    return std::move(e).take();
 }
 
 }  // namespace
+
+Bytes Orb::encode_request(std::uint64_t request_id, bool oneway, ObjectKey key,
+                          std::uint32_t method, const Bytes& args) {
+    // Counting pass, then encode into a recycled buffer of exactly that
+    // size: the framing path performs zero allocations at steady state.
+    Encoder counter = Encoder::counter();
+    write_request(counter, request_id, oneway, key, method, args);
+    Encoder e(arena_.acquire(counter.size()));
+    write_request(e, request_id, oneway, key, method, args);
+    return std::move(e).take();
+}
 
 Orb::Orb(Network& network, NodeId node)
     : network_(&network), node_(node),
       incarnation_(network.node(node).incarnation()), adapter_(node) {
     network_->node(node_).set_receiver(
-        [this](NodeId from, const Bytes& payload) { on_message(from, payload); });
+        [this](NodeId from, Bytes payload) { on_message(from, std::move(payload)); });
 }
 
-OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, Bytes args, ReplyHandler handler,
-                      SimDuration timeout) {
+OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, const Bytes& args,
+                      ReplyHandler handler, SimDuration timeout) {
     NEWTOP_EXPECTS(handler != nullptr, "two-way invoke needs a reply handler");
     if (process_defunct()) return OrbCallId(0);
     metrics().add("orb.invocations");
@@ -58,7 +67,7 @@ OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, Bytes args, Reply
     return OrbCallId(request_id);
 }
 
-void Orb::invoke_oneway(const Ior& target, std::uint32_t method, Bytes args) {
+void Orb::invoke_oneway(const Ior& target, std::uint32_t method, const Bytes& args) {
     if (process_defunct()) return;
     metrics().add("orb.oneways");
     Bytes wire = encode_request(/*request_id=*/0, /*oneway=*/true, target.key, method, args);
@@ -76,37 +85,47 @@ void Orb::cancel(OrbCallId id) {
     pending_.erase(it);
 }
 
-void Orb::on_message(NodeId from, const Bytes& payload) {
+void Orb::on_message(NodeId from, Bytes payload) {
     // Parse errors on wire input are dropped (a real ORB would log and
     // close the connection); the caller's timeout handles the fallout.
     try {
+        // The decoder points into payload's heap storage, which a vector
+        // move does not relocate — handle_request may safely take the
+        // buffer while `d` is still live.
         Decoder d(payload);
         const std::uint8_t type = d.get_u8();
         switch (type) {
-            case kMsgRequest: handle_request(from, d); return;
-            case kMsgReply: handle_reply(d); return;
+            case kMsgRequest: handle_request(from, d, std::move(payload)); return;
+            case kMsgReply: handle_reply(d); break;
             default: throw DecodeError("unknown ORB message type");
         }
+        // Reply wire consumed synchronously: its storage feeds the next
+        // outgoing encode.
+        arena_.recycle(std::move(payload));
     } catch (const DecodeError& err) {
         NEWTOP_WARN("node " << node_ << ": dropping malformed message from " << from << ": "
                             << err.what());
     }
 }
 
-void Orb::handle_request(NodeId from, Decoder& d) {
+void Orb::handle_request(NodeId from, Decoder& d, Bytes wire) {
     metrics().add("orb.requests_handled");
     const std::uint64_t request_id = d.get_u64();
     const bool oneway = d.get_bool();
     ObjectKey key;
     decode(d, key);
     const std::uint32_t method = d.get_u32();
-    Bytes args = d.get_blob();
+    // Zero-copy: the arguments stay in the received wire buffer; the
+    // dispatch closure keeps the buffer alive and hands the servant a view.
+    const BytesView args = d.get_blob_view();
+    const std::size_t args_off = static_cast<std::size_t>(args.data() - wire.data());
+    const std::size_t args_len = args.size();
 
     Node& self = network_->node(node_);
     Servant* servant = adapter_.find(key);
     if (servant == nullptr) {
         // Charge the unmarshal that located (or failed to locate) the key.
-        self.cpu().execute(calibration::unmarshal_cost(args.size()),
+        self.cpu().execute(calibration::unmarshal_cost(args_len),
                            [this, from, request_id, oneway] {
             if (!oneway) send_reply(from, request_id, ReplyStatus::kNoObject, Bytes{});
         });
@@ -114,9 +133,9 @@ void Orb::handle_request(NodeId from, Decoder& d) {
     }
 
     const SimDuration cost =
-        calibration::unmarshal_cost(args.size()) + servant->execution_cost(method);
+        calibration::unmarshal_cost(args_len) + servant->execution_cost(method);
     self.cpu().execute(cost, [this, from, request_id, oneway, key, method,
-                              args = std::move(args)] {
+                              wire = std::move(wire), args_off, args_len]() mutable {
         // Re-resolve: the object may have been deactivated while queued.
         Servant* target = adapter_.find(key);
         if (target == nullptr) {
@@ -124,9 +143,13 @@ void Orb::handle_request(NodeId from, Decoder& d) {
             return;
         }
         try {
-            Bytes result = target->dispatch(method, args);
+            Bytes result = target->dispatch(method, BytesView{wire.data() + args_off, args_len});
+            // Retire the request wire before framing the reply, so the
+            // reply encode can reuse its storage.
+            arena_.recycle(std::move(wire));
             if (!oneway) send_reply(from, request_id, ReplyStatus::kOk, std::move(result));
         } catch (const ServantError& err) {
+            arena_.recycle(std::move(wire));
             if (!oneway) {
                 send_reply(from, request_id, ReplyStatus::kException,
                            encode_to_bytes(std::string(err.what())));
@@ -137,7 +160,10 @@ void Orb::handle_request(NodeId from, Decoder& d) {
 
 void Orb::send_reply(NodeId to, std::uint64_t request_id, ReplyStatus status, Bytes payload) {
     metrics().add("orb.replies_sent");
-    Encoder e;
+    // Fixed framing (type + id + status + blob length prefix) around the
+    // payload: size it exactly and encode into a recycled buffer.
+    const std::size_t frame_size = 1 + 8 + 1 + 4 + payload.size();
+    Encoder e(arena_.acquire(frame_size));
     e.put_u8(kMsgReply);
     e.put_u64(request_id);
     e.put_u8(static_cast<std::uint8_t>(status));

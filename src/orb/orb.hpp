@@ -16,6 +16,7 @@
 #include "net/network.hpp"
 #include "orb/ior.hpp"
 #include "orb/object_adapter.hpp"
+#include "serial/arena.hpp"
 
 namespace newtop {
 
@@ -63,12 +64,14 @@ public:
 
     /// Two-way invocation.  `timeout` == 0 means wait forever (only safe
     /// when the target cannot fail).  The handler runs on this node's CPU.
-    OrbCallId invoke(const Ior& target, std::uint32_t method, Bytes args,
+    /// `args` is borrowed for the duration of the call (it is copied into
+    /// the framed request), so one buffer can serve many invocations.
+    OrbCallId invoke(const Ior& target, std::uint32_t method, const Bytes& args,
                      ReplyHandler handler, SimDuration timeout = 0);
 
     /// Oneway (fire-and-forget) invocation: no reply, no delivery guarantee
     /// beyond what the transport gives.
-    void invoke_oneway(const Ior& target, std::uint32_t method, Bytes args);
+    void invoke_oneway(const Ior& target, std::uint32_t method, const Bytes& args);
 
     /// Abandon a pending call; its handler will not run.
     void cancel(OrbCallId id);
@@ -85,10 +88,12 @@ private:
         TimerId timer{0};
     };
 
-    void on_message(NodeId from, const Bytes& payload);
-    void handle_request(NodeId from, Decoder& d);
+    void on_message(NodeId from, Bytes payload);
+    void handle_request(NodeId from, Decoder& d, Bytes wire);
     void handle_reply(Decoder& d);
     void send_reply(NodeId to, std::uint64_t request_id, ReplyStatus status, Bytes payload);
+    Bytes encode_request(std::uint64_t request_id, bool oneway, ObjectKey key,
+                         std::uint32_t method, const Bytes& args);
     void complete(std::uint64_t request_id, ReplyStatus status, const Bytes& payload);
     void try_group_member(Iogr group, std::size_t attempt, std::uint32_t method, Bytes args,
                           ReplyHandler handler, SimDuration per_member_timeout);
@@ -98,6 +103,10 @@ private:
     NodeId node_;
     std::uint32_t incarnation_;
     ObjectAdapter adapter_;
+    /// Recycled wire buffers: received messages retire here after dispatch
+    /// and the next outgoing encode reuses their storage, so the steady-
+    /// state request/reply path allocates nothing.
+    EncodeArena arena_;
     std::uint64_t next_request_id_{1};
     // Ordered by request id so iteration (timeout sweeps, drain-on-shutdown)
     // can never leak hash-table layout into completion or trace order.

@@ -27,8 +27,11 @@ class Servant {
 public:
     virtual ~Servant() = default;
 
-    /// Execute `method` with `args`; returns the encoded result.
-    virtual Bytes dispatch(std::uint32_t method, const Bytes& args) = 0;
+    /// Execute `method` with `args`; returns the encoded result.  `args`
+    /// is a borrowed view into the received wire buffer (zero-copy): it is
+    /// valid only for the duration of the call, so a servant that needs
+    /// the arguments later must copy them out.
+    virtual Bytes dispatch(std::uint32_t method, BytesView args) = 0;
 
     /// Simulated CPU time the servant consumes executing `method`.  The
     /// default models a trivial service (the paper benchmarks a

@@ -219,10 +219,12 @@ class ActiveReplica::TransferServant : public Servant {
 public:
     explicit TransferServant(std::shared_ptr<Shim> shim) : shim_(std::move(shim)) {}
 
-    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+    Bytes dispatch(std::uint32_t method, BytesView args) override {
         switch (method) {
             case kStateInstallMethod:
-                shim_->install_snapshot(args);
+                // State transfer is cold; materialize the snapshot out of
+                // the borrowed wire buffer.
+                shim_->install_snapshot(Bytes(args.begin(), args.end()));
                 return {};
             case kStateRequestMethod: {
                 const auto joiner = decode_from_bytes<EndpointId>(args);

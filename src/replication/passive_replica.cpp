@@ -59,7 +59,7 @@ public:
         return primary_ ? app_->execution_cost(method) : SimDuration{5};
     }
 
-    void install_checkpoint(const Bytes& body) {
+    void install_checkpoint(BytesView body) {
         Decoder d(body);
         StreamPos pos;
         decode(d, pos.epoch);
@@ -153,7 +153,7 @@ class PassiveReplica::CheckpointServant : public Servant {
 public:
     explicit CheckpointServant(std::shared_ptr<Shim> shim) : shim_(std::move(shim)) {}
 
-    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+    Bytes dispatch(std::uint32_t method, BytesView args) override {
         if (method != kCheckpointInstallMethod) throw ServantError("unknown method");
         try {
             shim_->install_checkpoint(args);

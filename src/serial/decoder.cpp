@@ -5,19 +5,19 @@
 namespace newtop {
 
 void Decoder::require(std::size_t n) const {
-    if (buf_->size() - pos_ < n) throw DecodeError("truncated input");
+    if (size_ - pos_ < n) throw DecodeError("truncated input");
 }
 
 std::uint8_t Decoder::get_u8() {
     require(1);
-    return (*buf_)[pos_++];
+    return data_[pos_++];
 }
 
 std::uint64_t Decoder::get_le(std::size_t n) {
     require(n);
     std::uint64_t v = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        v |= static_cast<std::uint64_t>((*buf_)[pos_ + i]) << (8 * i);
+        v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
     }
     pos_ += n;
     return v;
@@ -39,7 +39,7 @@ double Decoder::get_double() {
 std::string Decoder::get_string() {
     const std::uint32_t n = get_u32();
     require(n);
-    std::string s(reinterpret_cast<const char*>(buf_->data() + pos_), n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
 }
@@ -47,10 +47,17 @@ std::string Decoder::get_string() {
 Bytes Decoder::get_blob() {
     const std::uint32_t n = get_u32();
     require(n);
-    Bytes b(buf_->begin() + static_cast<std::ptrdiff_t>(pos_),
-            buf_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    Bytes b(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return b;
+}
+
+BytesView Decoder::get_blob_view() {
+    const std::uint32_t n = get_u32();
+    require(n);
+    const BytesView v{data_ + pos_, n};
+    pos_ += n;
+    return v;
 }
 
 }  // namespace newtop

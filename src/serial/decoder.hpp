@@ -26,7 +26,11 @@ public:
 class Decoder {
 public:
     /// The decoder borrows `buf`; the caller keeps it alive while decoding.
-    explicit Decoder(const Bytes& buf) : buf_(&buf) {}
+    explicit Decoder(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+
+    /// Decode out of a borrowed view (e.g. a slice of a received wire
+    /// buffer); the view's owner keeps the storage alive while decoding.
+    explicit Decoder(BytesView buf) : data_(buf.data()), size_(buf.size()) {}
 
     std::uint8_t get_u8();
     std::uint16_t get_u16() { return static_cast<std::uint16_t>(get_le(2)); }
@@ -39,17 +43,23 @@ public:
     std::string get_string();
     Bytes get_blob();
 
+    /// Zero-copy blob read: a view into the decoder's underlying buffer,
+    /// valid only as long as that buffer.  Use for payloads consumed before
+    /// the wire message is released.
+    BytesView get_blob_view();
+
     /// True when the whole buffer has been consumed.
-    [[nodiscard]] bool exhausted() const { return pos_ == buf_->size(); }
+    [[nodiscard]] bool exhausted() const { return pos_ == size_; }
 
     /// Bytes remaining.
-    [[nodiscard]] std::size_t remaining() const { return buf_->size() - pos_; }
+    [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
 private:
     std::uint64_t get_le(std::size_t n);
     void require(std::size_t n) const;
 
-    const Bytes* buf_;
+    const std::uint8_t* data_;
+    std::size_t size_;
     std::size_t pos_{0};
 };
 
@@ -115,7 +125,7 @@ void decode(Decoder& d, std::map<K, V>& v) {
 
 /// Decode a whole buffer into one value; throws if bytes are left over.
 template <typename T>
-T decode_from_bytes(const Bytes& buf) {
+T decode_from_bytes(BytesView buf) {
     Decoder d(buf);
     T value;
     decode(d, value);

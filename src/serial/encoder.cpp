@@ -12,14 +12,27 @@ void Encoder::put_double(double v) {
     put_u64(bits);
 }
 
+void Encoder::put_bytes(const std::uint8_t* data, std::size_t n) {
+    if (counting_) {
+        count_ += n;
+        return;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
 void Encoder::put_string(std::string_view v) {
     put_u32(static_cast<std::uint32_t>(v.size()));
-    buf_.insert(buf_.end(), v.begin(), v.end());
+    put_bytes(reinterpret_cast<const std::uint8_t*>(v.data()), v.size());
 }
 
 void Encoder::put_blob(const Bytes& v) {
     put_u32(static_cast<std::uint32_t>(v.size()));
-    buf_.insert(buf_.end(), v.begin(), v.end());
+    put_bytes(v.data(), v.size());
+}
+
+void Encoder::put_blob(BytesView v) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    put_bytes(v.data(), v.size());
 }
 
 }  // namespace newtop

@@ -8,6 +8,13 @@
 // Format: little-endian fixed-width integers, length-prefixed strings and
 // sequences, one byte per bool.  There is no alignment padding; the format
 // is private to this library.
+//
+// Allocation discipline: the hot encode paths run once per simulated wire
+// message, so the encoder supports exact pre-sizing.  A *counting* encoder
+// (Encoder::counter()) runs the same encode() functions but only tallies
+// bytes; a real encoder then reserves that size up front and appends with
+// bulk writes, so one encode costs at most one allocation — zero when it
+// adopts a recycled buffer with enough capacity (see serial/arena.hpp).
 #pragma once
 
 #include <cstdint>
@@ -26,7 +33,19 @@ class Encoder {
 public:
     Encoder() = default;
 
-    void put_u8(std::uint8_t v) { buf_.push_back(v); }
+    /// Adopt `buf`'s storage (cleared, capacity kept) so encoding reuses a
+    /// recycled buffer instead of allocating a fresh one.
+    explicit Encoder(Bytes buf) : buf_(std::move(buf)) { buf_.clear(); }
+
+    /// A counting encoder: runs every put_* but only tallies the byte
+    /// count.  Drive the same encode() calls through it to learn a
+    /// message's exact wire size before encoding for real.
+    [[nodiscard]] static Encoder counter() { return Encoder(CountingTag{}); }
+
+    void put_u8(std::uint8_t v) {
+        if (counting_) { ++count_; return; }
+        buf_.push_back(v);
+    }
     void put_u16(std::uint16_t v) { put_le(v); }
     void put_u32(std::uint32_t v) { put_le(v); }
     void put_u64(std::uint64_t v) { put_le(v); }
@@ -36,22 +55,48 @@ public:
     void put_double(double v);
     void put_string(std::string_view v);
     void put_blob(const Bytes& v);
+    void put_blob(BytesView v);
+
+    /// Append `n` raw bytes in one bulk write.
+    void put_bytes(const std::uint8_t* data, std::size_t n);
+
+    /// Pre-size the output buffer (no-op while counting).
+    void reserve(std::size_t n) {
+        if (!counting_) buf_.reserve(n);
+    }
 
     /// Finish and take the encoded buffer.
     [[nodiscard]] Bytes take() && { return std::move(buf_); }
 
-    /// Bytes written so far.
-    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+    /// Bytes written (or, for a counting encoder, tallied) so far.
+    [[nodiscard]] std::size_t size() const { return counting_ ? count_ : buf_.size(); }
+
+    /// Output buffer capacity (allocation diagnostics in tests).
+    [[nodiscard]] std::size_t capacity() const { return buf_.capacity(); }
+
+    /// Address of the output storage (allocation diagnostics in tests).
+    [[nodiscard]] const std::uint8_t* data() const { return buf_.data(); }
 
 private:
+    struct CountingTag {};
+    explicit Encoder(CountingTag) : counting_(true) {}
+
     template <typename T>
     void put_le(T v) {
+        if (counting_) {
+            count_ += sizeof(T);
+            return;
+        }
+        const std::size_t at = buf_.size();
+        buf_.resize(at + sizeof(T));
         for (std::size_t i = 0; i < sizeof(T); ++i) {
-            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+            buf_[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
         }
     }
 
     Bytes buf_;
+    std::size_t count_{0};
+    bool counting_{false};
 };
 
 // ---------------------------------------------------------------------------
@@ -98,10 +143,19 @@ void encode(Encoder& e, const std::map<K, V>& v) {
     }
 }
 
-/// Encode a single value to a standalone buffer.
+/// Exact wire size of a value, via a counting pass.
+template <typename T>
+std::size_t encoded_size(const T& value) {
+    Encoder c = Encoder::counter();
+    encode(c, value);
+    return c.size();
+}
+
+/// Encode a single value to a standalone buffer, sized exactly.
 template <typename T>
 Bytes encode_to_bytes(const T& value) {
     Encoder e;
+    e.reserve(encoded_size(value));
     encode(e, value);
     return std::move(e).take();
 }

@@ -2,10 +2,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace newtop {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// A borrowed, read-only window into a byte buffer (e.g. a received wire
+/// message).  Views never own storage: whoever holds the underlying Bytes
+/// keeps it alive for the view's lifetime.
+using BytesView = std::span<const std::uint8_t>;
 
 }  // namespace newtop

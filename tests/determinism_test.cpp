@@ -129,8 +129,8 @@ TEST(Determinism, DifferentSeedsDiverge) {
 class ChurnServant : public Servant {
 public:
     explicit ChurnServant(int id) : id_(id) {}
-    Bytes dispatch(std::uint32_t, const Bytes& args) override {
-        Bytes out = args;
+    Bytes dispatch(std::uint32_t, BytesView args) override {
+        Bytes out(args.begin(), args.end());
         out.push_back(static_cast<std::uint8_t>(id_));
         return out;
     }

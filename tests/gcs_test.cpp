@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "net/calibration.hpp"
 #include "trace_oracle.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace newtop {
 namespace {
@@ -495,6 +497,99 @@ TEST_F(LanGcs, EventDrivenGroupGoesQuietAfterDelivery) {
     EXPECT_EQ(world.log_of(b, g), std::vector<std::string>{"x"});
 }
 
+// -- send flow control / batching ----------------------------------------------------
+
+TEST_F(LanGcs, BurstCoalescesUnderSendWindow) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    GroupConfig cfg = config_for(OrderMode::kTotalAsymmetric);
+    cfg.order_window = 2;
+    const GroupId g = world.ep(a).create_group("g", cfg);
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    std::vector<std::string> expected;
+    for (int k = 0; k < 40; ++k) {
+        expected.push_back("m" + std::to_string(k));
+        world.ep(b).multicast(g, payload_of(expected.back()));
+    }
+    world.run_for(3_s);
+    EXPECT_EQ(world.log_of(a, g), expected);
+    EXPECT_EQ(world.log_of(b, g), expected);
+    // With a window of 2, a 40-send burst must have coalesced...
+    EXPECT_GT(world.net.metrics().counter("gcs.sends_coalesced"), 0u);
+    // ...into multi-payload batches.
+    const auto* batches = world.net.metrics().histogram("gcs.send_batch_payloads");
+    ASSERT_NE(batches, nullptr);
+    EXPECT_GT(batches->max(), SimDuration{1});
+}
+
+TEST_F(LanGcs, ZeroWindowDisablesCoalescing) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    GroupConfig cfg = config_for(OrderMode::kTotalAsymmetric);
+    cfg.order_window = 0;
+    const GroupId g = world.ep(a).create_group("g", cfg);
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    std::vector<std::string> expected;
+    for (int k = 0; k < 10; ++k) {
+        expected.push_back("m" + std::to_string(k));
+        world.ep(b).multicast(g, payload_of(expected.back()));
+    }
+    world.run_for(2_s);
+    EXPECT_EQ(world.log_of(a, g), expected);
+    EXPECT_EQ(world.net.metrics().counter("gcs.sends_coalesced"), 0u);
+}
+
+// Oracle test: a view change landing while a burst is still coalesced in
+// the sender's queue must neither drop nor reorder the unflushed tail.
+// The OracleScope on the world checks the protocol invariants throughout.
+TEST_F(LanGcs, ViewChangeMidBatchKeepsUnflushedTail) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    GroupConfig cfg = config_for(OrderMode::kTotalAsymmetric);
+    cfg.order_window = 1;  // everything past the first send queues
+    const GroupId g = world.ep(a).create_group("g", cfg);
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    std::vector<std::string> expected;
+    for (int k = 0; k < 25; ++k) {
+        expected.push_back("m" + std::to_string(k));
+        world.ep(b).multicast(g, payload_of(expected.back()));
+    }
+    // Join lands while the tail of the burst is still queued at b.
+    const auto c = world.add_endpoint(SiteId(0));
+    world.ep(c).join_group("g");
+    world.run_for(5_s);
+    EXPECT_EQ(world.log_of(a, g), expected);
+    EXPECT_EQ(world.log_of(b, g), expected);
+    ASSERT_TRUE(world.ep(c).is_member(g));
+    // b's full sequence survives at every original member, in order; c
+    // (which joined mid-burst) sees a gap-free suffix of it.
+    const auto at_c = world.log_of(c, g);
+    EXPECT_TRUE(std::search(expected.begin(), expected.end(), at_c.begin(), at_c.end()) !=
+                expected.end());
+}
+
+TEST_F(LanGcs, SymmetricModeAlsoCoalesces) {
+    const auto a = world.add_endpoint(SiteId(0));
+    const auto b = world.add_endpoint(SiteId(0));
+    GroupConfig cfg = config_for(OrderMode::kTotalSymmetric);
+    cfg.order_window = 2;
+    const GroupId g = world.ep(a).create_group("g", cfg);
+    world.ep(b).join_group("g");
+    world.run_for(100_ms);
+    std::vector<std::string> expected;
+    for (int k = 0; k < 30; ++k) {
+        expected.push_back("s" + std::to_string(k));
+        world.ep(a).multicast(g, payload_of(expected.back()));
+    }
+    world.run_for(3_s);
+    EXPECT_EQ(world.log_of(a, g), expected);
+    EXPECT_EQ(world.log_of(b, g), expected);
+    EXPECT_GT(world.net.metrics().counter("gcs.sends_coalesced"), 0u);
+}
+
 TEST_F(LanGcs, StabilityPrunesUnstableStore) {
     const auto a = world.add_endpoint(SiteId(0));
     const auto b = world.add_endpoint(SiteId(0));
@@ -551,6 +646,66 @@ TEST(GcsMessages, AllVariantsRoundTrip) {
 TEST(GcsMessages, GarbageRejected) {
     EXPECT_THROW(decode_gcs_message(Bytes{99}), DecodeError);
     EXPECT_THROW(decode_gcs_message(Bytes{}), DecodeError);
+}
+
+TEST(GcsMessages, DataMsgBatchRoundTrips) {
+    DataMsg m;
+    m.group = GroupId(3);
+    m.epoch = 7;
+    m.sender = EndpointId(9);
+    m.seq = 42;
+    m.ts = 1234;
+    m.payload = payload_of("head");
+    m.batch = {payload_of("second"), payload_of("third"), Bytes{}};
+    const GcsMessage out = decode_gcs_message(encode_gcs_message(m));
+    const auto* decoded = std::get_if<DataMsg>(&out);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(to_string(decoded->payload), "head");
+    ASSERT_EQ(decoded->batch.size(), 3u);
+    EXPECT_EQ(to_string(decoded->batch[0]), "second");
+    EXPECT_EQ(to_string(decoded->batch[1]), "third");
+    EXPECT_TRUE(decoded->batch[2].empty());
+}
+
+// Property: multi-assignment ORDER records round-trip for arbitrary batch
+// sizes, and every strict prefix of the encoding is rejected (no partial
+// ORDER record can silently decode to fewer assignments).
+TEST(GcsMessages, MultiAssignmentOrderRoundTripAndTruncationFuzz) {
+    Rng rng(2026);
+    for (int iter = 0; iter < 50; ++iter) {
+        OrderMsg m;
+        m.group = GroupId(rng.next_in(1, 9));
+        m.epoch = rng.next_in(0, 5);
+        m.first_order = rng.next_in(0, 1000);
+        const std::size_t refs = rng.next_in(1, 65);
+        for (std::size_t i = 0; i < refs; ++i) {
+            m.refs.push_back(MsgRef{EndpointId(rng.next_in(1, 8)),
+                                    static_cast<Seqno>(rng.next_in(0, 500))});
+        }
+        const Bytes wire = encode_gcs_message(m);
+        const GcsMessage out = decode_gcs_message(wire);
+        const auto* decoded = std::get_if<OrderMsg>(&out);
+        ASSERT_NE(decoded, nullptr);
+        EXPECT_EQ(decoded->first_order, m.first_order);
+        ASSERT_EQ(decoded->refs.size(), m.refs.size());
+        EXPECT_TRUE(std::equal(m.refs.begin(), m.refs.end(), decoded->refs.begin()));
+        // Truncation fuzz: sample strict prefixes (all for short wires).
+        for (std::size_t cut = 0; cut < wire.size();
+             cut += 1 + rng.next_in(0, wire.size() / 16)) {
+            EXPECT_THROW(decode_gcs_message(BytesView{wire.data(), cut}), DecodeError);
+        }
+    }
+}
+
+TEST(GcsMessages, EncodeReservesExactly) {
+    DataMsg m;
+    m.group = GroupId(3);
+    m.sender = EndpointId(9);
+    m.payload = Bytes(1024, 0xab);
+    m.batch = {Bytes(512, 0xcd), Bytes(256, 0xef)};
+    const Bytes wire = encode_gcs_message(m);
+    // The counting pass pre-sizes the buffer: no growth slack remains.
+    EXPECT_EQ(wire.capacity(), wire.size());
 }
 
 TEST(GcsView, RankAndLeader) {

@@ -19,10 +19,10 @@ constexpr std::uint32_t kBoom = 3;
 /// Test servant: echoes, adds, or throws.
 class TestServant : public Servant {
 public:
-    Bytes dispatch(std::uint32_t method, const Bytes& args) override {
+    Bytes dispatch(std::uint32_t method, BytesView args) override {
         ++calls;
         switch (method) {
-            case kEcho: return args;
+            case kEcho: return Bytes(args.begin(), args.end());
             case kAdd: {
                 Decoder d(args);
                 const auto a = d.get_i64();

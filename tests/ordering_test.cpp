@@ -294,6 +294,47 @@ TEST(SequencerOrder, BatchedOrderRecord) {
     EXPECT_FALSE(order.take_order_to_send().has_value());  // drained
 }
 
+TEST(SequencerOrder, PartialDrainRespectsMaxRefs) {
+    SequencerOrder order;
+    order.reset({kA, kB}, kA);
+    order.on_data(data(kB, 0, 1));
+    order.on_data(data(kB, 1, 2));
+    order.on_data(data(kB, 2, 3));
+    EXPECT_EQ(order.fresh_count(), 3u);
+    const auto first = order.take_order_to_send(2);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->first_order, 0u);
+    EXPECT_EQ(first->refs.size(), 2u);
+    EXPECT_EQ(order.fresh_count(), 1u);
+    const auto second = order.take_order_to_send(2);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->first_order, 2u);
+    EXPECT_EQ(second->refs.size(), 1u);
+    EXPECT_FALSE(order.take_order_to_send(2).has_value());
+}
+
+// Regression: pending_count() used to report max(|data|, |assignments|),
+// undercounting when the two sets are disjoint (data held without an order
+// record *and* order records held without their data are both pending).
+TEST(SequencerOrder, PendingCountCoversDisjointSets) {
+    SequencerOrder order;
+    order.reset({kA, kB, kC}, kB);  // kA is the sequencer; we are kB
+    // Data with no assignment yet.
+    order.on_data(data(kC, 0, 1));
+    EXPECT_EQ(order.pending_count(), 1u);
+    // Assignment for a *different* message whose data has not arrived.
+    OrderMsg om;
+    om.first_order = 0;
+    om.refs = {MsgRef{kB, 7}};
+    order.on_order(om);
+    EXPECT_EQ(order.pending_count(), 2u);  // disjoint: 1 data + 1 assignment
+    // Once the assignment's data arrives and delivers, only the unordered
+    // data message remains pending.
+    order.on_data(data(kB, 7, 2));
+    EXPECT_EQ(order.take_deliverable().size(), 1u);
+    EXPECT_EQ(order.pending_count(), 1u);
+}
+
 // -- CausalOrder ---------------------------------------------------------------
 
 DataMsg causal_data(EndpointId sender, Seqno seq,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "invocation/envelope.hpp"
+#include "serial/arena.hpp"
 #include "serial/serial.hpp"
 #include "util/rng.hpp"
 
@@ -301,6 +302,107 @@ TEST(Serial, RandomGarbageNeverCrashes) {
             // expected for most inputs
         }
     }
+}
+
+// -- counting / arena encode path ------------------------------------------------
+
+// Property: the counting encoder predicts the real encoding's size exactly,
+// for arbitrary nested values.
+TEST(Serial, CountingEncoderMatchesRealSize) {
+    Rng rng(0xc0);
+    for (int iter = 0; iter < 100; ++iter) {
+        std::map<std::string, std::vector<Bytes>> value;
+        const auto entries = rng.next_in(0, 5);
+        for (std::uint64_t i = 0; i < entries; ++i) {
+            std::vector<Bytes> blobs;
+            const auto n = rng.next_in(0, 4);
+            for (std::uint64_t j = 0; j < n; ++j) blobs.push_back(random_payload(rng, 64));
+            value["key" + std::to_string(i)] = std::move(blobs);
+        }
+        Encoder counter = Encoder::counter();
+        encode(counter, value);
+        EXPECT_EQ(counter.size(), encode_to_bytes(value).size());
+    }
+}
+
+// Regression: put_le used to grow the buffer one push_back at a time, and
+// blob encodes never pre-sized.  Encoding a 64 KiB payload must perform
+// O(1) allocations: after the exact reserve, the buffer never reallocates.
+TEST(Serial, LargePayloadEncodesWithoutReallocation) {
+    const Bytes payload(64 * 1024, 0x5a);
+    Encoder e;
+    e.reserve(encoded_size(payload));
+    const std::uint8_t* before = e.data();
+    const std::size_t reserved = e.capacity();
+    e.put_blob(payload);
+    EXPECT_EQ(e.data(), before);          // storage never moved
+    EXPECT_EQ(e.capacity(), reserved);    // ... nor grew
+    EXPECT_EQ(e.size(), encoded_size(payload));
+    // encode_to_bytes pre-sizes the same way: zero growth slack.
+    const Bytes wire = encode_to_bytes(payload);
+    EXPECT_EQ(wire.capacity(), wire.size());
+}
+
+TEST(Serial, EncoderAdoptsAndArenaRecyclesStorage) {
+    EncodeArena arena;
+    Bytes retired;
+    retired.reserve(4096);
+    const std::uint8_t* storage = retired.data();
+    arena.recycle(std::move(retired));
+    EXPECT_EQ(arena.pooled(), 1u);
+
+    // acquire() hands back the pooled storage, cleared.
+    Bytes buf = arena.acquire(1024);
+    EXPECT_EQ(arena.pooled(), 0u);
+    EXPECT_EQ(buf.data(), storage);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_GE(buf.capacity(), 4096u);
+
+    // An adopting encoder writes into that same storage.
+    Encoder e{std::move(buf)};
+    e.put_u64(0x1122334455667788ULL);
+    EXPECT_EQ(e.data(), storage);
+    Bytes wire = std::move(e).take();
+    EXPECT_EQ(wire.data(), storage);
+    EXPECT_EQ(decode_from_bytes<std::uint64_t>(wire), 0x1122334455667788ULL);
+
+    // Round and round: the wire buffer retires into the next encode.
+    arena.recycle(std::move(wire));
+    EXPECT_EQ(arena.acquire(16).data(), storage);
+}
+
+TEST(Serial, ArenaDropsOversizedAndSurplusBuffers) {
+    EncodeArena arena;
+    Bytes huge;
+    huge.reserve((std::size_t{1} << 20) + 1);
+    arena.recycle(std::move(huge));
+    EXPECT_EQ(arena.pooled(), 0u);  // over the per-buffer cap: freed
+    for (int i = 0; i < 40; ++i) arena.recycle(Bytes(8, 0));
+    EXPECT_LE(arena.pooled(), 16u);  // pool count is bounded
+}
+
+TEST(Serial, BlobViewIsZeroCopy) {
+    Encoder e;
+    e.put_u32(7);
+    e.put_blob(Bytes{1, 2, 3, 4});
+    const Bytes wire = std::move(e).take();
+    Decoder d(wire);
+    EXPECT_EQ(d.get_u32(), 7u);
+    const BytesView view = d.get_blob_view();
+    ASSERT_EQ(view.size(), 4u);
+    EXPECT_GE(view.data(), wire.data());
+    EXPECT_LE(view.data() + view.size(), wire.data() + wire.size());
+    EXPECT_EQ(view[3], 4u);
+    EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Serial, TruncatedBlobViewThrows) {
+    Encoder e;
+    e.put_blob(Bytes(16, 0xff));
+    Bytes wire = std::move(e).take();
+    wire.resize(wire.size() - 1);
+    Decoder d(wire);
+    EXPECT_THROW(d.get_blob_view(), DecodeError);
 }
 
 }  // namespace
