@@ -16,6 +16,7 @@
 #include "harness.hpp"
 
 #include "gcs/endpoint.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -33,6 +34,9 @@ struct SaturationOptions {
     SimDuration measured{5_s};
     std::size_t payload_bytes{32};
     std::uint64_t seed{1};
+    /// Trace the run, sample the credit/holdback gauges and reconcile the
+    /// trace-derived ship->delivery sums against gcs.delivery_latency_us.
+    bool profile{false};
 };
 
 struct SaturationResult {
@@ -40,6 +44,7 @@ struct SaturationResult {
     std::uint64_t delivered{0};
     std::uint64_t wire_messages{0};
     std::string metrics_json;
+    obs::ProfileReport profile;  // options.profile only
 };
 
 /// One flood run: `senders` members feed open-loop bursts into an
@@ -48,6 +53,14 @@ SaturationResult run_saturation(const SaturationOptions& options) {
     Scheduler scheduler;
     Network network(scheduler, calibration::make_lan_topology(), options.seed);
     Directory directory;
+
+    std::unique_ptr<obs::RingTraceSink> sink;
+    if (options.profile) {
+        sink = std::make_unique<obs::RingTraceSink>(std::size_t{1} << 19);
+        sink->attach_metrics(&network.metrics());
+        network.metrics().set_trace_sink(sink.get());
+        network.enable_gauge_sampling(10_ms, 2_s);
+    }
 
     std::vector<std::unique_ptr<Orb>> orbs;
     std::vector<std::unique_ptr<GroupCommEndpoint>> endpoints;
@@ -96,6 +109,28 @@ SaturationResult run_saturation(const SaturationOptions& options) {
     result.invocations_per_sec =
         static_cast<double>(result.delivered) / to_seconds(options.measured);
     result.metrics_json = network.metrics().to_json();
+
+    if (sink != nullptr) {
+        network.metrics().set_trace_sink(nullptr);
+        obs::TraceDump dump = sink->dump();
+        if (const obs::LatencyHistogram* h =
+                network.metrics().histogram(obs::metric::kGcsDeliveryLatencyUs)) {
+            dump.expectations.push_back(obs::TraceExpectation{
+                std::string(obs::metric::kGcsDeliveryLatencyUs), h->count(), h->sum()});
+        }
+        result.profile = obs::LatencyProfiler{}.analyze(dump);
+        // newtop-lint: allow(getenv): artifact destination only; cannot influence simulated behaviour
+        const char* dump_dir = std::getenv("NEWTOP_TRACE_DUMP_OUT");
+        if (dump_dir != nullptr && *dump_dir != '\0') {
+            const std::filesystem::path dir(dump_dir);
+            std::filesystem::create_directories(dir);
+            const std::filesystem::path path = dir / "saturation.trace.json";
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            out << dump.to_json();
+            out.close();
+            std::cout << "# trace-dump " << path.string() << "\n";
+        }
+    }
     return result;
 }
 
@@ -115,17 +150,22 @@ std::string json_mode(const char* name, const SaturationOptions& options,
 void write_artifact(const SaturationOptions& unbatched_options,
                     const SaturationResult& unbatched,
                     const SaturationOptions& batched_options,
-                    const SaturationResult& batched, double speedup) {
+                    const SaturationResult& batched, double speedup,
+                    const SaturationResult& profiled) {
     // newtop-lint: allow(getenv): artifact destination only; cannot influence simulated behaviour
     const char* out_path = std::getenv("NEWTOP_BENCH_OUT");
     const std::filesystem::path path =
         (out_path != nullptr && *out_path != '\0') ? out_path : "BENCH_saturation.json";
     std::ofstream out(path, std::ios::trunc);
+    const obs::ProfileReport& profile = profiled.profile;
     out << "{\"bench\":\"saturation\",\"setting\":\"lan\",\"seed\":"
         << unbatched_options.seed << ",\"modes\":["
         << json_mode("unbatched", unbatched_options, unbatched) << ","
         << json_mode("batched", batched_options, batched) << "],\"speedup\":" << speedup
-        << "}\n";
+        << ",\"profile\":{\"reconciled\":" << (profile.reconciled() ? "true" : "false")
+        << ",\"delivered\":" << profiled.delivered << ",\"sequencer_turnaround\":{\"count\":"
+        << profile.sequencer_turnaround_count
+        << ",\"sum_us\":" << profile.sequencer_turnaround_sum_us << "}}}\n";
     out.close();
     std::cout << "# artifact " << path.string() << "\n";
 }
@@ -139,6 +179,17 @@ void BM_Saturation_Lan(benchmark::State& state) {
         SaturationOptions batched_options;  // defaults: window 16, batch 64
         const SaturationResult batched = run_saturation(batched_options);
 
+        // Shorter traced run: every ship/arrival/order/delivery event is
+        // captured and the trace-derived ship->delivery sums must reconcile
+        // with the gcs.delivery_latency_us histogram (the flood runs above
+        // stay untraced so their throughput is undisturbed).
+        SaturationOptions profiled_options;
+        profiled_options.profile = true;
+        profiled_options.burst = 8;
+        profiled_options.warmup = 200_ms;
+        profiled_options.measured = 400_ms;
+        const SaturationResult profiled = run_saturation(profiled_options);
+
         const double speedup = unbatched.invocations_per_sec > 0
                                    ? batched.invocations_per_sec /
                                          unbatched.invocations_per_sec
@@ -146,7 +197,13 @@ void BM_Saturation_Lan(benchmark::State& state) {
         state.counters["unbatched_inv_per_s"] = unbatched.invocations_per_sec;
         state.counters["batched_inv_per_s"] = batched.invocations_per_sec;
         state.counters["speedup"] = speedup;
-        write_artifact(unbatched_options, unbatched, batched_options, batched, speedup);
+        state.counters["reconciled"] = profiled.profile.reconciled() ? 1.0 : 0.0;
+        if (!profiled.profile.reconciled()) {
+            std::cerr << "# RECONCILIATION FAILED for the traced saturation run\n"
+                      << profiled.profile.to_text();
+        }
+        write_artifact(unbatched_options, unbatched, batched_options, batched, speedup,
+                       profiled);
         emit_metrics(batched.metrics_json);
     }
 }

@@ -27,6 +27,8 @@
 #include "net/calibration.hpp"
 #include "newtop/newtop_service.hpp"
 #include "obs/export.hpp"
+#include "obs/names.hpp"
+#include "obs/profiler.hpp"
 
 namespace newtop::bench {
 
@@ -63,6 +65,11 @@ struct RequestReplyResult {
     /// Full deterministic dump of the world's metrics registry (counters +
     /// latency histograms) at the end of the run.
     std::string metrics_json;
+    /// Per-phase critical-path attribution (options.profile only): every
+    /// invocation decomposed into marshal / credit_wait / wire / order_wait
+    /// / cpu_wait / execution / reply_collection, reconciled against the
+    /// independently measured reply-wait histograms.
+    obs::ProfileReport profile;
 };
 
 struct RequestReplyOptions {
@@ -75,6 +82,11 @@ struct RequestReplyOptions {
     int requests_per_client{100};
     int warmup_per_client{5};
     std::uint64_t seed{1};
+    /// Trace the whole run (bounded ring), sample the queue/credit gauges,
+    /// and attribute every invocation's latency to protocol phases; the
+    /// report lands in RequestReplyResult::profile.  NEWTOP_TRACE_DUMP_OUT
+    /// additionally writes the raw TraceDump for offline `newtop_prof`.
+    bool profile{false};
 };
 
 /// One complete request/reply experiment: build the world, run the closed
@@ -157,15 +169,29 @@ private:
                std::to_string(options_.seed);
     }
 
+    void append_expectation(obs::TraceDump& dump, std::string_view metric) {
+        if (const obs::LatencyHistogram* h = network_.metrics().histogram(metric)) {
+            dump.expectations.push_back(
+                obs::TraceExpectation{std::string(metric), h->count(), h->sum()});
+        }
+    }
+
     RequestReplyResult execute() {
         // NEWTOP_TRACE_OUT=<dir> installs a bounded ring sink for the whole
         // experiment and writes a Perfetto-loadable JSON per run.
         // newtop-lint: allow(getenv): export destination only; cannot influence simulated behaviour
         const char* trace_dir = std::getenv("NEWTOP_TRACE_OUT");
         std::unique_ptr<obs::RingTraceSink> trace_sink;
-        if (trace_dir != nullptr && *trace_dir != '\0') {
+        if (options_.profile || (trace_dir != nullptr && *trace_dir != '\0')) {
             trace_sink = std::make_unique<obs::RingTraceSink>(std::size_t{1} << 20);
+            trace_sink->attach_metrics(&network_.metrics());
             network_.metrics().set_trace_sink(trace_sink.get());
+        }
+        if (options_.profile) {
+            // Queue/credit time series ride along with the trace: holdback
+            // depth, credits in flight, blocked sends, CPU backlog and
+            // directory size sampled on fixed sim-time ticks.
+            network_.enable_gauge_sampling(100_ms, 700_s);
         }
 
         // Servers.
@@ -236,6 +262,32 @@ private:
 
         if (trace_sink != nullptr) {
             network_.metrics().set_trace_sink(nullptr);
+        }
+        if (options_.profile && trace_sink != nullptr) {
+            // Package the stream as a self-describing dump: the embedded
+            // histogram totals are what the profiler reconciles its phase
+            // sums against (>1% mismatch = tracing bug).
+            obs::TraceDump dump = trace_sink->dump();
+            append_expectation(dump, obs::metric::kInvReplyWaitOneway);
+            append_expectation(dump, obs::metric::kInvReplyWaitFirst);
+            append_expectation(dump, obs::metric::kInvReplyWaitMajority);
+            append_expectation(dump, obs::metric::kInvReplyWaitAll);
+            append_expectation(dump, obs::metric::kInvReplyWaitOther);
+            append_expectation(dump, obs::metric::kGcsDeliveryLatencyUs);
+            result.profile = obs::LatencyProfiler{}.analyze(dump);
+            // newtop-lint: allow(getenv): artifact destination only; cannot influence simulated behaviour
+            const char* dump_dir = std::getenv("NEWTOP_TRACE_DUMP_OUT");
+            if (dump_dir != nullptr && *dump_dir != '\0') {
+                const std::filesystem::path dir(dump_dir);
+                std::filesystem::create_directories(dir);
+                const std::filesystem::path path = dir / (label() + ".trace.json");
+                std::ofstream out(path, std::ios::binary | std::ios::trunc);
+                out << dump.to_json();
+                out.close();
+                std::cout << "# trace-dump " << path.string() << "\n";
+            }
+        }
+        if (trace_dir != nullptr && *trace_dir != '\0' && trace_sink != nullptr) {
             obs::ExportOptions export_options;
             for (const auto& nso : server_nsos_) {
                 export_options.actor_to_node[nso->id().value()] =

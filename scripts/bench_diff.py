@@ -1,57 +1,120 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_saturation.json artifacts and warn on regressions.
+"""Compare two bench artifacts and warn on regressions.
 
-Usage: bench_diff.py CURRENT PREVIOUS [--threshold PCT]
+Usage: bench_diff.py CURRENT [PREVIOUS] [--threshold PCT] [--strict]
 
-Prints a per-mode throughput comparison.  A mode whose invocations_per_sec
-dropped by more than the threshold (default 10%) produces a WARNING line;
-the exit code stays 0 (the diff is advisory -- sim-time throughput is
-deterministic, so a warning means the *code* got slower, not the machine).
+PREVIOUS defaults to the committed baseline at the repository root with the
+same file name as CURRENT — the BENCH_*.json artifacts are committed, so
+the default diff is "this run vs the trajectory the repo promises".
+
+Two schemas are understood:
+  * saturation ("modes"): per-mode invocations_per_sec, higher is better;
+  * latency_breakdown ("configs"): per-config mean_latency_ms, lower is
+    better, plus a note whenever a config's dominant phase changed.
+
+A regression beyond the threshold (default 10%) produces a WARNING line;
+the exit code stays 0 (the diff is advisory -- sim-time numbers are
+deterministic, so a warning means the *code* changed, not the machine).
 Pass --strict to turn warnings into a non-zero exit.
 """
 
 import argparse
 import json
+import pathlib
 import sys
 
 
-def load_modes(path):
+def load(path):
     with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
-    return {m["name"]: m for m in doc.get("modes", [])}, doc
+        return json.load(f)
+
+
+def diff_modes(current, previous, threshold):
+    """Saturation schema: higher invocations_per_sec is better."""
+    regressed = False
+    prev_modes = {m["name"]: m for m in previous.get("modes", [])}
+    for mode in current.get("modes", []):
+        name = mode["name"]
+        now = mode.get("invocations_per_sec", 0.0)
+        if name not in prev_modes:
+            print(f"{name}: {now:.0f} inv/s (no previous data)")
+            continue
+        before = prev_modes[name].get("invocations_per_sec", 0.0)
+        delta = 0.0 if before == 0 else (now - before) / before * 100.0
+        line = f"{name}: {before:.0f} -> {now:.0f} inv/s ({delta:+.1f}%)"
+        if delta < -threshold:
+            regressed = True
+            print(f"WARNING: throughput regression over {threshold:.0f}%: {line}")
+        else:
+            print(line)
+    speedup = current.get("speedup")
+    if speedup is not None:
+        print(f"batched/unbatched speedup: {speedup:.2f}x")
+    profile = current.get("profile", {})
+    if profile and not profile.get("reconciled", True):
+        regressed = True
+        print("WARNING: traced run did not reconcile against its histograms")
+    return regressed
+
+
+def diff_configs(current, previous, threshold):
+    """Latency-breakdown schema: lower mean_latency_ms is better."""
+    regressed = False
+    prev_configs = {c["name"]: c for c in previous.get("configs", [])}
+    for config in current.get("configs", []):
+        name = config["name"]
+        now = config.get("mean_latency_ms", 0.0)
+        if not config.get("reconciled", True):
+            regressed = True
+            print(f"WARNING: {name} did not reconcile against its histograms")
+        if name not in prev_configs:
+            print(f"{name}: {now:.3f} ms (no previous data)")
+            continue
+        before = prev_configs[name].get("mean_latency_ms", 0.0)
+        delta = 0.0 if before == 0 else (now - before) / before * 100.0
+        line = f"{name}: {before:.3f} -> {now:.3f} ms ({delta:+.1f}%)"
+        if delta > threshold:
+            regressed = True
+            print(f"WARNING: latency regression over {threshold:.0f}%: {line}")
+        else:
+            print(line)
+        dom_before = prev_configs[name].get("dominant")
+        dom_now = config.get("dominant")
+        if dom_before and dom_now and dom_before != dom_now:
+            print(f"  note: dominant phase changed: {dom_before} -> {dom_now}")
+    return regressed
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
-    parser.add_argument("previous")
+    parser.add_argument("previous", nargs="?", default=None,
+                        help="baseline artifact (default: the committed "
+                             "repo-root file with CURRENT's name)")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="regression warning threshold in percent")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero when a regression is found")
     args = parser.parse_args()
 
-    current, cur_doc = load_modes(args.current)
-    previous, _ = load_modes(args.previous)
+    previous_path = args.previous
+    if previous_path is None:
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        previous_path = repo_root / pathlib.Path(args.current).name
+        if not previous_path.exists():
+            print(f"no committed baseline at {previous_path}; nothing to diff")
+            return 0
 
-    regressed = False
-    for name, mode in current.items():
-        now = mode.get("invocations_per_sec", 0.0)
-        if name not in previous:
-            print(f"{name}: {now:.0f} inv/s (no previous data)")
-            continue
-        before = previous[name].get("invocations_per_sec", 0.0)
-        delta = 0.0 if before == 0 else (now - before) / before * 100.0
-        line = f"{name}: {before:.0f} -> {now:.0f} inv/s ({delta:+.1f}%)"
-        if delta < -args.threshold:
-            regressed = True
-            print(f"WARNING: throughput regression over {args.threshold:.0f}%: {line}")
-        else:
-            print(line)
+    current = load(args.current)
+    previous = load(previous_path)
 
-    speedup = cur_doc.get("speedup")
-    if speedup is not None:
-        print(f"batched/unbatched speedup: {speedup:.2f}x")
+    if "modes" in current:
+        regressed = diff_modes(current, previous, args.threshold)
+    elif "configs" in current:
+        regressed = diff_configs(current, previous, args.threshold)
+    else:
+        print(f"unrecognised artifact schema in {args.current}", file=sys.stderr)
+        return 2
 
     return 1 if (regressed and args.strict) else 0
 

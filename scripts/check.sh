@@ -17,11 +17,13 @@
 #                    (default 200) in both trees.  On failure the campaign
 #                    prints the failing seed; replay it with
 #                        NEWTOP_FUZZ_SEED=<seed> build/tools/newtop_fuzz
-#   --bench          fast path: build and run the LAN saturation benchmark,
-#                    writing BENCH_saturation.json; if a previous artifact
-#                    exists (BENCH_saturation.prev.json, or the path in
-#                    NEWTOP_BENCH_BASELINE), diff throughput against it and
-#                    warn on a >10% regression; no tests
+#   --bench          fast path: build and run the LAN saturation and
+#                    latency-breakdown benchmarks into build/, gate the
+#                    trace dumps through newtop_prof (phase sums must
+#                    reconcile with the histograms within 1%), diff against
+#                    the committed BENCH_*.json baselines, then refresh the
+#                    repo-root artifacts so the new numbers can be
+#                    committed; no tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,20 +64,32 @@ done
 EXTRA_CTEST_ARGS=("$@")
 
 if [[ "${BENCH_ONLY}" == 1 ]]; then
-    echo "== bench_saturation (build)"
+    echo "== bench (build)"
     cmake -B build -S . >/dev/null
-    cmake --build build -j "${JOBS}" --target bench_saturation
+    cmake --build build -j "${JOBS}" \
+        --target bench_saturation bench_latency_breakdown newtop_prof
+    rm -rf build/bench_traces
     echo "== bench_saturation (run)"
-    NEWTOP_BENCH_OUT=BENCH_saturation.json \
+    NEWTOP_BENCH_OUT=build/BENCH_saturation.json \
+    NEWTOP_TRACE_DUMP_OUT=build/bench_traces \
         build/bench/bench_saturation --benchmark_filter=BM_Saturation_Lan
-    BASELINE="${NEWTOP_BENCH_BASELINE:-BENCH_saturation.prev.json}"
-    if [[ -f "${BASELINE}" ]]; then
-        echo "== throughput diff vs ${BASELINE}"
-        python3 scripts/bench_diff.py BENCH_saturation.json "${BASELINE}"
-    else
-        echo "== no previous artifact (${BASELINE}); skipping throughput diff"
-    fi
-    echo "== bench artifact written to BENCH_saturation.json"
+    echo "== bench_latency_breakdown (run)"
+    NEWTOP_BENCH_OUT=build/BENCH_latency_breakdown.json \
+    NEWTOP_TRACE_DUMP_OUT=build/bench_traces \
+        build/bench/bench_latency_breakdown
+    echo "== newtop_prof reconciliation gate"
+    mkdir -p build/prof_reports
+    for dump in build/bench_traces/*.trace.json; do
+        name="$(basename "${dump}" .trace.json)"
+        build/tools/newtop_prof --json -o "build/prof_reports/${name}.json" "${dump}"
+        build/tools/newtop_prof "${dump}" | head -2
+    done
+    echo "== diff vs committed baselines"
+    python3 scripts/bench_diff.py build/BENCH_saturation.json
+    python3 scripts/bench_diff.py build/BENCH_latency_breakdown.json
+    cp build/BENCH_saturation.json BENCH_saturation.json
+    cp build/BENCH_latency_breakdown.json BENCH_latency_breakdown.json
+    echo "== bench artifacts refreshed (BENCH_saturation.json, BENCH_latency_breakdown.json)"
     exit 0
 fi
 

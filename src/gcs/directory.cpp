@@ -1,9 +1,28 @@
 #include "gcs/directory.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
+
+Directory::~Directory() {
+    if (metrics_ != nullptr && size_gauge_ != 0) metrics_->unregister_gauge(size_gauge_);
+}
+
+void Directory::attach_metrics(obs::MetricsRegistry* metrics) {
+    if (metrics == metrics_) return;
+    if (metrics_ != nullptr && size_gauge_ != 0) {
+        metrics_->unregister_gauge(size_gauge_);
+        size_gauge_ = 0;
+    }
+    metrics_ = metrics;
+    if (metrics_ != nullptr) {
+        size_gauge_ = metrics_->register_gauge(obs::metric::kDirectorySize, [this](SimTime) {
+            return static_cast<std::uint64_t>(nso_iors_.size());
+        });
+    }
+}
 
 EndpointId Directory::register_endpoint(Ior service_ior) {
     endpoint_iors_.push_back(std::move(service_ior));
@@ -31,7 +50,7 @@ bool Directory::has_nso(EndpointId id) const { return nso_iors_.contains(id); }
 void Directory::evict_endpoint(EndpointId id) {
     if (nso_iors_.erase(id) == 0) return;
     evicted_.insert(id);
-    if (metrics_ != nullptr) metrics_->add("directory.evictions");
+    if (metrics_ != nullptr) metrics_->add(obs::metric::kDirectoryEvictions);
 }
 
 bool Directory::known_defunct(EndpointId id) const { return evicted_.contains(id); }

@@ -64,9 +64,16 @@ public:
     /// register NSOs, and nothing there is ever *known* defunct.
     [[nodiscard]] bool known_defunct(EndpointId id) const;
 
+    Directory() = default;
+    ~Directory();
+    Directory(const Directory&) = delete;
+    Directory& operator=(const Directory&) = delete;
+
     /// Attach a metrics registry (the directory is world-global and built
     /// before the network, so this is wired explicitly after construction).
-    void attach_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+    /// Also registers the directory.size gauge; re-attaching the same
+    /// registry (every endpoint constructor calls this) is idempotent.
+    void attach_metrics(obs::MetricsRegistry* metrics);
 
     /// Register a new group.  Throws if the name is taken.
     GroupId register_group(const std::string& name, const GroupConfig& config,
@@ -86,6 +93,7 @@ public:
 
 private:
     obs::MetricsRegistry* metrics_{nullptr};
+    std::uint64_t size_gauge_{0};
     std::vector<Ior> endpoint_iors_;
     std::map<EndpointId, Ior> nso_iors_;
     std::set<EndpointId> evicted_;

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "net/calibration.hpp"
+#include "obs/names.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -68,6 +69,44 @@ GroupCommEndpoint::GroupCommEndpoint(Orb& orb, Directory& directory)
     directory_->attach_metrics(&orb_->network().metrics());
     service_ior_ = orb_->adapter().activate(std::make_shared<GcsServant>(this), "NewTopGCS");
     id_ = directory_->register_endpoint(service_ior_);
+
+    // Flow-control / ordering occupancy gauges, summed over this endpoint's
+    // groups; sampled on the world's gauge ticks (enable_gauge_sampling).
+    gauge_registry_ = &metrics();
+    gauges_.push_back(gauge_registry_->register_gauge(obs::metric::kGcsHoldback, [this](SimTime) {
+        std::uint64_t total = 0;
+        for (const auto& [id, g] : groups_) {
+            switch (g.config.order) {
+                case OrderMode::kTotalSymmetric: total += g.symmetric.pending_count(); break;
+                case OrderMode::kTotalAsymmetric: total += g.sequencer.pending_count(); break;
+                case OrderMode::kCausal: total += g.causal.pending_count(); break;
+            }
+        }
+        return total;
+    }));
+    gauges_.push_back(
+        gauge_registry_->register_gauge(obs::metric::kGcsCreditsInFlight, [this](SimTime) {
+            std::uint64_t total = 0;
+            for (const auto& [id, g] : groups_) total += g.inflight_sends;
+            return total;
+        }));
+    gauges_.push_back(
+        gauge_registry_->register_gauge(obs::metric::kGcsBlockedSends, [this](SimTime) {
+            std::uint64_t total = 0;
+            for (const auto& [id, g] : groups_) {
+                total += g.coalesce_queue.size() + g.blocked_sends.size();
+            }
+            return total;
+        }));
+}
+
+GroupCommEndpoint::~GroupCommEndpoint() {
+    // The registry outlives every endpoint (it is owned by the network);
+    // crash-recovery rebuilds endpoints, so a stale gauge here would read
+    // freed group state on the next sampling tick.
+    if (gauge_registry_ != nullptr) {
+        for (const obs::GaugeHandle handle : gauges_) gauge_registry_->unregister_gauge(handle);
+    }
 }
 
 // -- small accessors ----------------------------------------------------------
@@ -223,35 +262,45 @@ void GroupCommEndpoint::leave_group(GroupId group) {
     maybe_start_view_change(*g);
 }
 
-void GroupCommEndpoint::multicast(GroupId group, Bytes payload) {
+void GroupCommEndpoint::multicast(GroupId group, Bytes payload, obs::SpanContext span) {
     Group* g = find_group(group);
     NEWTOP_EXPECTS(g != nullptr, "unknown group");
     NEWTOP_EXPECTS(g->installed || g->state == Group::State::kViewChange,
                    "group not yet joined");
-    metrics().add("gcs.multicasts");
-    metrics().trace(obs::TraceKind::kMulticastSent, orb_->scheduler().now(), id_.value(),
-                    group.value(), payload.size());
+    if (span.trace == 0) {
+        // Bare GCS traffic (no invocation above it): synthesize a root so
+        // the profiler can still chain submit → ship → arrive → deliver.
+        span.trace = obs::multicast_trace_id(id_.value(), ++multicast_seq_);
+        span.span = obs::span_id(span.trace, id_.value(), obs::SpanRole::kSender);
+    }
+    metrics().add(obs::metric::kGcsMulticasts);
+    metrics().trace(obs::TraceKind::kMulticastSent, orb_->scheduler().now(), id_.value(), span,
+                    0, group.value(), payload.size());
     if (g->state == Group::State::kViewChange || !g->installed) {
-        g->blocked_sends.push_back(std::move(payload));
+        metrics().trace(obs::TraceKind::kSendQueued, orb_->scheduler().now(), id_.value(), span,
+                        0, group.value(), g->blocked_sends.size() + 1);
+        g->blocked_sends.push_back(PendingSend{std::move(payload), span});
         return;
     }
-    submit_send(*g, std::move(payload));
+    submit_send(*g, std::move(payload), span);
 }
 
 // -- data path ------------------------------------------------------------------
 
-void GroupCommEndpoint::submit_send(Group& g, Bytes payload) {
+void GroupCommEndpoint::submit_send(Group& g, Bytes payload, obs::SpanContext span) {
     const std::size_t window = g.config.order_window;
     // FIFO: once anything is queued, later sends queue behind it even if a
     // credit is momentarily free.
     if (window != 0 && (g.inflight_sends >= window || !g.coalesce_queue.empty())) {
-        g.coalesce_queue.push_back(std::move(payload));
-        metrics().add("gcs.sends_coalesced");
+        metrics().trace(obs::TraceKind::kSendQueued, orb_->scheduler().now(), id_.value(), span,
+                        0, g.id.value(), g.coalesce_queue.size() + 1);
+        g.coalesce_queue.push_back(PendingSend{std::move(payload), span});
+        metrics().add(obs::metric::kGcsSendsCoalesced);
         drain_coalesced(g);  // a credit may be free when the queue is fresh
         return;
     }
     if (window != 0) ++g.inflight_sends;
-    send_data(g, DataKind::kApplication, std::move(payload));
+    send_data(g, DataKind::kApplication, std::move(payload), span);
 }
 
 void GroupCommEndpoint::drain_coalesced(Group& g) {
@@ -260,18 +309,21 @@ void GroupCommEndpoint::drain_coalesced(Group& g) {
     if (window == 0) return;
     draining_coalesced_ = true;
     while (!g.coalesce_queue.empty() && g.inflight_sends < window) {
-        Bytes head = std::move(g.coalesce_queue.front());
+        PendingSend head = std::move(g.coalesce_queue.front());
         g.coalesce_queue.pop_front();
         std::vector<Bytes> batch;
+        std::vector<obs::SpanContext> batch_spans;
         const std::size_t max_batch = std::max<std::size_t>(g.config.order_max_batch, 1);
         while (!g.coalesce_queue.empty() && batch.size() + 1 < max_batch) {
-            batch.push_back(std::move(g.coalesce_queue.front()));
+            batch.push_back(std::move(g.coalesce_queue.front().payload));
+            batch_spans.push_back(g.coalesce_queue.front().span);
             g.coalesce_queue.pop_front();
         }
-        metrics().observe("gcs.send_batch_payloads",
+        metrics().observe(obs::metric::kGcsSendBatchPayloads,
                           static_cast<SimDuration>(1 + batch.size()));
         ++g.inflight_sends;
-        send_data(g, DataKind::kApplication, std::move(head), std::move(batch));
+        send_data(g, DataKind::kApplication, std::move(head.payload), head.span,
+                  std::move(batch), std::move(batch_spans));
     }
     draining_coalesced_ = false;
 }
@@ -288,8 +340,9 @@ void GroupCommEndpoint::park_coalesced(Group& g) {
     g.coalesce_queue.clear();
 }
 
-void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload,
-                                  std::vector<Bytes> batch) {
+void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload, obs::SpanContext span,
+                                  std::vector<Bytes> batch,
+                                  std::vector<obs::SpanContext> batch_spans) {
     const SimTime now = orb_->scheduler().now();
     DataMsg msg;
     msg.group = g.id;
@@ -300,23 +353,36 @@ void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload,
     msg.sent_at = now;
     msg.payload = std::move(payload);
     msg.batch = std::move(batch);
+    msg.span = span;
+    msg.batch_spans = std::move(batch_spans);
     if (kind == DataKind::kNull) {
         msg.seq = 0;  // nulls are ephemeral: no stream seqno, no retransmit
         msg.received_counts = received_counts(g);
         ++g.nulls_sent;
-        metrics().add("gcs.nulls_sent");
+        metrics().add(obs::metric::kGcsNullsSent);
         metrics().trace(obs::TraceKind::kNullOnWire, now, id_.value(), g.id.value());
     } else {
         msg.seq = g.next_send_seq++;
         g.unstable.emplace(MsgRef{id_, msg.seq}, msg);
         if (kind == DataKind::kOrder) {
-            metrics().add("gcs.order_sent");
+            metrics().add(obs::metric::kGcsOrderSent);
             metrics().trace(obs::TraceKind::kOrderOnWire, now, id_.value(), g.id.value(),
                             msg.seq);
         } else {
-            metrics().add("gcs.data_sent");
+            metrics().add(obs::metric::kGcsDataSent);
             metrics().trace(obs::TraceKind::kDataOnWire, now, id_.value(), g.id.value(),
                             msg.seq);
+            // Phase boundary: each payload (head + coalesced followers)
+            // leaves the endpoint now.  The packed ref names the carrying
+            // message so the profiler can pair ship ↔ arrival per member.
+            const std::uint64_t ref =
+                obs::pack_delivered_ref(msg.epoch, id_.value(), msg.seq);
+            metrics().trace(obs::TraceKind::kPayloadShipped, now, id_.value(), msg.span, 0,
+                            g.id.value(), ref);
+            for (const obs::SpanContext& extra : msg.batch_spans) {
+                metrics().trace(obs::TraceKind::kPayloadShipped, now, id_.value(), extra, 0,
+                                g.id.value(), ref);
+            }
         }
     }
     if (kind == DataKind::kApplication) {
@@ -335,6 +401,7 @@ void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload,
     multicast_wire(g, msg);
 
     // Local self-ingest: feed our own message straight to the engine.
+    if (kind == DataKind::kApplication) note_payload_arrival(msg);
     switch (g.config.order) {
         case OrderMode::kTotalSymmetric: g.symmetric.on_data(msg); break;
         case OrderMode::kTotalAsymmetric:
@@ -422,7 +489,23 @@ void GroupCommEndpoint::handle_data(DataMsg msg) {
     kick_liveness(g);
 }
 
+void GroupCommEndpoint::note_payload_arrival(const DataMsg& msg) {
+    // Phase boundary: the payload has reached this member (self-ingest or
+    // in-order wire arrival) and now waits in the ordering layer.  One event
+    // per carried payload span so every invocation's chain sees its own.
+    if (msg.kind != DataKind::kApplication) return;
+    const SimTime now = orb_->scheduler().now();
+    const std::uint64_t ref = obs::pack_delivered_ref(msg.epoch, msg.sender.value(), msg.seq);
+    metrics().trace(obs::TraceKind::kDataArrived, now, id_.value(), msg.span, 0,
+                    msg.group.value(), ref);
+    for (const obs::SpanContext& extra : msg.batch_spans) {
+        metrics().trace(obs::TraceKind::kDataArrived, now, id_.value(), extra, 0,
+                        msg.group.value(), ref);
+    }
+}
+
 void GroupCommEndpoint::ingest_in_order(Group& g, DataMsg msg) {
+    note_payload_arrival(msg);
     g.unstable.emplace(MsgRef{msg.sender, msg.seq}, msg);
     switch (g.config.order) {
         case OrderMode::kTotalSymmetric:
@@ -471,7 +554,7 @@ void GroupCommEndpoint::pump(Group& g) {
         case OrderMode::kTotalAsymmetric: holdback = g.sequencer.pending_count(); break;
         case OrderMode::kCausal: holdback = g.causal.pending_count(); break;
     }
-    metrics().observe("gcs.holdback_depth", static_cast<SimDuration>(holdback));
+    metrics().observe(obs::metric::kGcsHoldbackDepth, static_cast<SimDuration>(holdback));
     for (auto& msg : ordered) g.release_queue.push_back(std::move(msg));
     try_release_all();
 }
@@ -487,8 +570,21 @@ void GroupCommEndpoint::schedule_order_flush(Group& g) {
 }
 
 void GroupCommEndpoint::flush_order(Group& g) {
+    const SimTime now = orb_->scheduler().now();
     while (auto order = g.sequencer.take_order_to_send()) {
-        metrics().observe("gcs.order_batch_refs", static_cast<SimDuration>(order->refs.size()));
+        metrics().observe(obs::metric::kGcsOrderBatchRefs,
+                          static_cast<SimDuration>(order->refs.size()));
+        // Sequencer-turnaround boundary: each ref now has an agreed position
+        // and the assignment goes on the wire.  The span is recovered from
+        // the unstable store (the sequencer holds every unassigned message).
+        for (const MsgRef& ref : order->refs) {
+            const auto it = g.unstable.find(ref);
+            const obs::SpanContext span = it == g.unstable.end() ? obs::SpanContext{}
+                                                                 : it->second.span;
+            metrics().trace(obs::TraceKind::kOrderAssigned, now, id_.value(), span, 0,
+                            g.id.value(),
+                            obs::pack_delivered_ref(g.view.epoch, ref.sender.value(), ref.seq));
+        }
         send_data(g, DataKind::kOrder, encode_order_payload(*order));
     }
 }
@@ -550,14 +646,23 @@ void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
     const std::uint64_t payloads = 1 + msg.batch.size();
     g.delivered_refs.insert(MsgRef{msg.sender, msg.seq});
     g.delivered_count += payloads;
-    metrics().add("gcs.delivered", payloads);
-    metrics().observe("gcs.delivery_latency_us", orb_->scheduler().now() - msg.sent_at);
+    const SimTime now = orb_->scheduler().now();
+    const std::uint64_t ref = obs::pack_delivered_ref(msg.epoch, msg.sender.value(), msg.seq);
+    metrics().add(obs::metric::kGcsDelivered, payloads);
+    metrics().observe(obs::metric::kGcsDeliveryLatencyUs, now - msg.sent_at);
     // subject = group, detail = the delivered {epoch, sender, seq} ref: the
     // raw material for the oracle's total-order / virtual-synchrony checks.
     // A coalesced batch shares one ref, so it stays one oracle event.
-    metrics().trace(obs::TraceKind::kDataDelivered, orb_->scheduler().now(), id_.value(),
-                    g.id.value(),
-                    obs::pack_delivered_ref(msg.epoch, msg.sender.value(), msg.seq));
+    metrics().trace(obs::TraceKind::kDataDelivered, now, id_.value(), msg.span, 0, g.id.value(),
+                    ref);
+    // Phase boundary: ordering (and any cross-group barrier) released the
+    // payload(s); what follows is CPU-queue wait at the application object.
+    metrics().trace(obs::TraceKind::kPayloadDelivered, now, id_.value(), msg.span, 0,
+                    g.id.value(), ref);
+    for (const obs::SpanContext& extra : msg.batch_spans) {
+        metrics().trace(obs::TraceKind::kPayloadDelivered, now, id_.value(), extra, 0,
+                        g.id.value(), ref);
+    }
     if (msg.sender != id_) {
         auto& stream = g.inbound[msg.sender];
         stream.delivered_app_count = std::max(stream.delivered_app_count, msg.seq + 1);
@@ -641,7 +746,7 @@ void GroupCommEndpoint::send_nack(GroupId group_id, EndpointId sender) {
                               : stream.out_of_order.begin()->first;
     for (Seqno s = stream.next_expected; s < gap_end; ++s) nack.missing.push_back(s);
     if (nack.missing.empty()) return;
-    metrics().add("gcs.nacks_sent");
+    metrics().add(obs::metric::kGcsNacksSent);
     send_wire(sender, nack);
 
     // Retry until the gap closes (or a view change supersedes everything).
@@ -655,7 +760,7 @@ void GroupCommEndpoint::handle_nack(const NackMsg& msg) {
     for (const Seqno seq : msg.missing) {
         const auto it = g->unstable.find(MsgRef{id_, seq});
         if (it != g->unstable.end()) {
-            metrics().add("gcs.retransmits");
+            metrics().add(obs::metric::kGcsRetransmits);
             send_wire(msg.requester, it->second);
         }
         // Absent => the message went stable, meaning the requester had

@@ -27,6 +27,7 @@
 
 #include "gcs/directory.hpp"
 #include "gcs/messages.hpp"
+#include "obs/metrics.hpp"
 #include "gcs/ordering.hpp"
 #include "gcs/types.hpp"
 #include "gcs/view.hpp"
@@ -61,6 +62,7 @@ public:
     using RemovedHandler = std::function<void(GroupId)>;
 
     GroupCommEndpoint(Orb& orb, Directory& directory);
+    ~GroupCommEndpoint();
 
     GroupCommEndpoint(const GroupCommEndpoint&) = delete;
     GroupCommEndpoint& operator=(const GroupCommEndpoint&) = delete;
@@ -86,7 +88,10 @@ public:
 
     /// Atomic multicast to the group with the group's configured ordering.
     /// During a view change the message is queued and sent in the next view.
-    void multicast(GroupId group, Bytes payload);
+    /// `span` ties the payload to the invocation it belongs to for latency
+    /// attribution; a zero span gets a deterministic per-endpoint synthetic
+    /// trace so bare GCS traffic is profilable too.
+    void multicast(GroupId group, Bytes payload, obs::SpanContext span = {});
 
     [[nodiscard]] bool knows_group(GroupId group) const { return groups_.contains(group); }
     [[nodiscard]] bool is_member(GroupId group) const;
@@ -113,6 +118,13 @@ public:
     [[nodiscard]] GroupStats group_stats(GroupId group) const;
 
 private:
+    /// A payload waiting for a send credit (coalesce queue) or for a view
+    /// change to finish (blocked_sends), with the span it keeps carrying.
+    struct PendingSend {
+        Bytes payload;
+        obs::SpanContext span;
+    };
+
     struct InboundStream {
         Seqno next_expected{0};
         std::map<Seqno, DataMsg> out_of_order;
@@ -146,7 +158,7 @@ private:
         /// useful only while this lags the ordering head — once we have
         /// spoken past the head, further nulls cannot unblock anyone.
         Lamport last_sent_ts{0};
-        std::vector<Bytes> blocked_sends;
+        std::vector<PendingSend> blocked_sends;
         /// Flow control: own application DataMsgs in flight (sent but not
         /// yet self-delivered).  Credit-based — bounded by
         /// config.order_window; each send consumes a credit, each
@@ -154,7 +166,7 @@ private:
         std::size_t inflight_sends{0};
         /// Multicast payloads awaiting a window credit; drained (coalesced
         /// up to config.order_max_batch per DataMsg) as credits return.
-        std::deque<Bytes> coalesce_queue;
+        std::deque<PendingSend> coalesce_queue;
 
         // receive side
         std::map<EndpointId, InboundStream> inbound;
@@ -226,12 +238,14 @@ private:
     Group& ensure_skeleton(GroupId id);
 
     // -- data path (endpoint.cpp) -----------------------------------------------
-    void submit_send(Group& g, Bytes payload);
+    void submit_send(Group& g, Bytes payload, obs::SpanContext span);
     void drain_coalesced(Group& g);
     void park_coalesced(Group& g);
-    void send_data(Group& g, DataKind kind, Bytes payload, std::vector<Bytes> batch = {});
+    void send_data(Group& g, DataKind kind, Bytes payload, obs::SpanContext span = {},
+                   std::vector<Bytes> batch = {}, std::vector<obs::SpanContext> batch_spans = {});
     void handle_data(DataMsg msg);
     void handle_nack(const NackMsg& msg);
+    void note_payload_arrival(const DataMsg& msg);
     void ingest_in_order(Group& g, DataMsg msg);
     void pump(Group& g);
     void schedule_order_flush(Group& g);
@@ -288,6 +302,13 @@ private:
     EndpointId id_;
     Ior service_ior_;
     Lamport clock_{0};
+    /// Counts bare multicasts (no caller span) for synthetic trace ids.
+    std::uint64_t multicast_seq_{0};
+    /// Registry the gauges below registered with, cached so the destructor
+    /// can unregister without reaching through the orb (the registry, owned
+    /// by the network, outlives every endpoint generation).
+    obs::MetricsRegistry* gauge_registry_{nullptr};
+    std::vector<obs::GaugeHandle> gauges_;
 
     std::map<GroupId, Group> groups_;
     /// Cross-group causal knowledge: (group, sender) -> (epoch, count).

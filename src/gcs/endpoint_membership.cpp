@@ -16,6 +16,7 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -99,7 +100,7 @@ void GroupCommEndpoint::on_join_retry(const std::string& name) {
         }
     }
     if (!any_live_contact) {
-        metrics().add("gcs.group_refounds");
+        metrics().add(obs::metric::kGcsGroupRefounds);
         pending_joins_.erase(pending);
         Group& g = ensure_skeleton(info->id);
         install_first_view(g);
@@ -299,7 +300,7 @@ void GroupCommEndpoint::handle_propose(const ProposeMsg& msg) {
             const auto& log = g.sequencer.assignment_log();
             flush.orders.assign(log.begin(), log.end());
         }
-        metrics().add("gcs.flushes_sent");
+        metrics().add(obs::metric::kGcsFlushesSent);
         metrics().trace(obs::TraceKind::kFlushSent, orb_->scheduler().now(), id_.value(),
                         g.id.value(), msg.new_epoch);
         send_wire(msg.coordinator, flush);
@@ -411,7 +412,7 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     g.view = msg.view;
     g.installed = true;
     g.view_installed_at = orb_->scheduler().now();
-    metrics().add("gcs.views_installed");
+    metrics().add(obs::metric::kGcsViewsInstalled);
     // detail packs {membership digest, epoch}: two sides of a partition
     // installing the same epoch number stay distinguishable for the
     // oracle's consecutive-shared-view comparison.
@@ -480,16 +481,21 @@ void GroupCommEndpoint::resubmit_undelivered(Group& g, const std::set<MsgRef>& d
     // Our messages that made it into nobody's delivery (they were not in
     // the cut) would otherwise vanish; atomicity lets us resubmit them in
     // the new view (the paper's client-retry discussion, §4.1).
-    std::vector<Bytes> payloads;
+    std::vector<PendingSend> payloads;
     for (const auto& [ref, data] : g.unstable) {
         if (data.sender != id_ || data.kind != DataKind::kApplication) continue;
         if (delivered.contains(ref)) continue;
         // A coalesced message resubmits every payload it carried, in their
-        // original submission order.
-        payloads.push_back(data.payload);
-        for (const Bytes& extra : data.batch) payloads.push_back(extra);
+        // original submission order.  Spans stay attached: a resubmitted
+        // payload still belongs to its original invocation.
+        payloads.push_back(PendingSend{data.payload, data.span});
+        for (std::size_t i = 0; i < data.batch.size(); ++i) {
+            payloads.push_back(PendingSend{
+                data.batch[i],
+                i < data.batch_spans.size() ? data.batch_spans[i] : obs::SpanContext{}});
+        }
     }
-    for (Bytes& payload : payloads) g.blocked_sends.push_back(std::move(payload));
+    for (PendingSend& pending : payloads) g.blocked_sends.push_back(std::move(pending));
 }
 
 void GroupCommEndpoint::handle_install(const InstallMsg& msg) {
@@ -509,9 +515,11 @@ void GroupCommEndpoint::handle_install(const InstallMsg& msg) {
     // Send what queued up during the change (and any resubmissions),
     // through the flow-control gate so a large backlog coalesces instead
     // of flooding the new view.
-    std::vector<Bytes> sends = std::move(gp->blocked_sends);
+    std::vector<PendingSend> sends = std::move(gp->blocked_sends);
     gp->blocked_sends.clear();
-    for (Bytes& payload : sends) submit_send(*gp, std::move(payload));
+    for (PendingSend& pending : sends) {
+        submit_send(*gp, std::move(pending.payload), pending.span);
+    }
 
     maybe_start_view_change(*gp);
     // A follow-up round may have run to completion synchronously and erased

@@ -20,6 +20,15 @@ enum class Tag : std::uint8_t {
 
 }  // namespace
 
+void encode(Encoder& e, const obs::SpanContext& v) {
+    e.put_u64(v.trace);
+    e.put_u64(v.span);
+}
+void decode(Decoder& d, obs::SpanContext& v) {
+    v.trace = d.get_u64();
+    v.span = d.get_u64();
+}
+
 void encode(Encoder& e, const MsgRef& v) {
     encode(e, v.sender);
     encode(e, v.seq);
@@ -55,6 +64,8 @@ void encode(Encoder& e, const DataMsg& v) {
     encode(e, v.received_counts);
     encode(e, v.causal_vc);
     e.put_i64(v.sent_at);
+    encode(e, v.span);
+    encode(e, v.batch_spans);
 }
 void decode(Decoder& d, DataMsg& v) {
     decode(d, v.group);
@@ -71,6 +82,8 @@ void decode(Decoder& d, DataMsg& v) {
     decode(d, v.received_counts);
     decode(d, v.causal_vc);
     v.sent_at = d.get_i64();
+    decode(d, v.span);
+    decode(d, v.batch_spans);
 }
 
 namespace {

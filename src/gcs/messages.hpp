@@ -11,6 +11,7 @@
 
 #include "gcs/types.hpp"
 #include "gcs/view.hpp"
+#include "obs/trace.hpp"
 #include "serial/serial.hpp"
 
 namespace newtop {
@@ -83,6 +84,13 @@ struct DataMsg {
     /// latency histogram (gcs.delivery_latency_us) is deliver-time minus
     /// this.  Sim time is global, so no clock-skew correction is needed.
     SimTime sent_at{0};
+    /// Causal span of `payload` (zero trace outside any profiled chain).
+    /// Riding the wire lets receivers tie arrival/delivery phase events to
+    /// the originating invocation — the backbone of latency attribution.
+    obs::SpanContext span;
+    /// Span of each coalesced payload in `batch` (same length, or empty
+    /// when no batch entry carries a span).
+    std::vector<obs::SpanContext> batch_spans;
 };
 
 /// Retransmission request: "resend your messages with these seqnos".
@@ -164,6 +172,8 @@ using GcsMessage = std::variant<DataMsg, NackMsg, OrderMsg, JoinReq, LeaveReq, S
 Bytes encode_gcs_message(const GcsMessage& msg);
 GcsMessage decode_gcs_message(BytesView wire);
 
+void encode(Encoder& e, const obs::SpanContext& v);
+void decode(Decoder& d, obs::SpanContext& v);
 void encode(Encoder& e, const MsgRef& v);
 void decode(Decoder& d, MsgRef& v);
 void encode(Encoder& e, const KnowledgeEntry& v);

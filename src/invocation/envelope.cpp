@@ -33,14 +33,8 @@ void decode(Decoder& d, CallId& v) {
     decode(d, v.group_origin);
 }
 
-void encode(Encoder& e, const obs::SpanContext& v) {
-    e.put_u64(v.trace);
-    e.put_u64(v.span);
-}
-void decode(Decoder& d, obs::SpanContext& v) {
-    v.trace = d.get_u64();
-    v.span = d.get_u64();
-}
+// The obs::SpanContext codec lives with the GCS wire format
+// (gcs/messages.cpp) — DATA messages carry spans too.
 
 void encode(Encoder& e, const ReplyEntry& v) {
     encode(e, v.replier);

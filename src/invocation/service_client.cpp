@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "net/calibration.hpp"
+#include "obs/names.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -22,14 +23,14 @@ constexpr SimDuration kBackoffBase = 250_ms;
 constexpr SimDuration kBackoffCap = 4_s;
 
 /// Per-mode reply-wait histogram names (issue to handler completion).
-const char* reply_wait_metric(InvocationMode mode) {
+std::string_view reply_wait_metric(InvocationMode mode) {
     switch (mode) {
-        case InvocationMode::kOneWay: return "invocation.reply_wait_us.oneway";
-        case InvocationMode::kWaitFirst: return "invocation.reply_wait_us.first";
-        case InvocationMode::kWaitMajority: return "invocation.reply_wait_us.majority";
-        case InvocationMode::kWaitAll: return "invocation.reply_wait_us.all";
+        case InvocationMode::kOneWay: return obs::metric::kInvReplyWaitOneway;
+        case InvocationMode::kWaitFirst: return obs::metric::kInvReplyWaitFirst;
+        case InvocationMode::kWaitMajority: return obs::metric::kInvReplyWaitMajority;
+        case InvocationMode::kWaitAll: return obs::metric::kInvReplyWaitAll;
     }
-    return "invocation.reply_wait_us.other";
+    return obs::metric::kInvReplyWaitOther;
 }
 }  // namespace
 
@@ -285,7 +286,7 @@ void InvocationService::binding_became_ready(Binding& b) {
 void InvocationService::rebind(Binding& b) {
     if (b.state == Binding::State::kDead) return;
     ++b.rebinds;
-    metrics().add("invocation.rebinds");
+    metrics().add(obs::metric::kInvRebinds);
     metrics().trace(obs::TraceKind::kRebound, orb_->scheduler().now(),
                     endpoint_->id().value(), b.id, b.rebinds);
     b.failed_managers.insert(b.manager);
@@ -350,7 +351,7 @@ void InvocationService::enter_backoff(Binding& b) {
         bindings_by_group_.erase(old_group);
         if (endpoint_->is_member(old_group)) endpoint_->leave_group(old_group);
     }
-    metrics().add("invocation.backoffs");
+    metrics().add(obs::metric::kInvBackoffs);
     const std::uint64_t shift = std::min<std::uint64_t>(b.backoff_round, 8);
     const SimDuration base = std::min(kBackoffCap, kBackoffBase << shift);
     const auto jitter = static_cast<SimDuration>(
@@ -376,7 +377,7 @@ void InvocationService::on_backoff_retry(BindingId id, std::uint64_t round) {
         enter_backoff(*b);  // schedules the next, longer retry
         return;
     }
-    metrics().add("invocation.backoff_rebinds");
+    metrics().add(obs::metric::kInvBackoffRebinds);
     b->backoff_round = 0;
     if (b->group_origin) {
         // The monitor group is still intact; just invite a new manager.
@@ -438,7 +439,7 @@ void InvocationService::invoke(BindingId binding, std::uint32_t method, Bytes ar
         return;
     }
     if (b->state != Binding::State::kReady) {
-        metrics().add("invocation.requests_queued");
+        metrics().add(obs::metric::kInvRequestsQueued);
         metrics().trace(obs::TraceKind::kRequestQueued, orb_->scheduler().now(),
                         endpoint_->id().value(), call.span, 0, b->id, call.seq);
         b->queued.push_back(std::move(call));
@@ -468,11 +469,11 @@ void InvocationService::send_call(Binding& b, PendingCall call) {
     const SimTime now = orb_->scheduler().now();
     if (call.issued_at < 0) {
         call.issued_at = now;
-        metrics().add("invocation.calls_sent");
+        metrics().add(obs::metric::kInvCallsSent);
         metrics().trace(obs::TraceKind::kRequestSent, now, endpoint_->id().value(), call.span,
                         0, b.id, call.seq);
     } else {
-        metrics().add("invocation.calls_retried");
+        metrics().add(obs::metric::kInvCallsRetried);
         metrics().trace(obs::TraceKind::kRequestRetried, now, endpoint_->id().value(),
                         call.span, 0, b.id, call.seq);
     }
@@ -485,11 +486,12 @@ void InvocationService::send_call(Binding& b, PendingCall call) {
 
     // Crossing from the application into the NSO costs the colocated
     // hand-off (fig. 9's m1); the multicast itself then pays per-member
-    // marshalling inside the endpoint.
+    // marshalling inside the endpoint.  The client span rides along so the
+    // GCS phase events chain back to this invocation.
     const GroupId group = target;
     orb_->network().node(orb_->node_id()).cpu().execute(
-        calibration::kLocalHandoffCost, [this, group, wire] {
-            if (endpoint_->is_member(group)) endpoint_->multicast(group, wire);
+        calibration::kLocalHandoffCost, [this, group, wire, span = request.span] {
+            if (endpoint_->is_member(group)) endpoint_->multicast(group, wire, span);
         });
 
     if (one_way && call.handler) {
@@ -510,7 +512,7 @@ void InvocationService::arm_call_timeout(Binding& b, PendingCall& call) {
             if (it == bp->inflight.end()) return;
             auto node = bp->inflight.extract(it);
             node.mapped().timeout = 0;
-            metrics().add("invocation.calls_timed_out");
+            metrics().add(obs::metric::kInvCallsTimedOut);
             metrics().trace(obs::TraceKind::kCallTimedOut, orb_->scheduler().now(),
                             endpoint_->id().value(), node.mapped().span, 0, id,
                             obs::pack_completion_detail(
@@ -522,7 +524,7 @@ void InvocationService::arm_call_timeout(Binding& b, PendingCall& call) {
 void InvocationService::complete_call(Binding& b, PendingCall call, bool complete) {
     orb_->scheduler().cancel(call.timeout);
     const SimTime now = orb_->scheduler().now();
-    metrics().add(complete ? "invocation.calls_completed" : "invocation.calls_failed");
+    metrics().add(complete ? obs::metric::kInvCallsCompleted : obs::metric::kInvCallsFailed);
     metrics().trace(complete ? obs::TraceKind::kCallCompleted : obs::TraceKind::kCallFailed,
                     now, endpoint_->id().value(), call.span, 0, b.id,
                     obs::pack_completion_detail(static_cast<std::uint64_t>(call.mode),
@@ -558,7 +560,7 @@ void InvocationService::collect_closed_reply(Binding& b, const ReplyEnv& reply) 
     PendingCall& call = it->second;
     if (!call.repliers.insert(reply.replier).second) return;
     call.replies.push_back(ReplyEntry{reply.replier, reply.ok, reply.value});
-    metrics().add("invocation.replies_collected");
+    metrics().add(obs::metric::kInvRepliesCollected);
     metrics().trace(obs::TraceKind::kReplyCollected, orb_->scheduler().now(),
                     endpoint_->id().value(), call.span, reply.span.span,
                     reply.replier.value(), reply.call.seq);

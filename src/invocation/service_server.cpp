@@ -4,6 +4,7 @@
 #include "invocation/service.hpp"
 
 #include "net/calibration.hpp"
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -32,8 +33,12 @@ void InvocationService::execute_and(Served& served, const CallId& call, std::uin
     // so the collector can record which execution each reply came from.
     const obs::SpanContext exec{parent.trace,
                                 obs::span_id(parent.trace, self.value(), obs::SpanRole::kServer)};
+    // Emitted at *queue* time; the gap to kExecutionDone is CPU-queue wait
+    // plus the execution itself, so the detail packs the pure execution cost
+    // next to the call seq for the profiler to split the two.
     metrics().trace(obs::TraceKind::kExecutionBegun, orb_->scheduler().now(), self.value(), exec,
-                    parent.span, call.origin, call.seq);
+                    parent.span, call.origin,
+                    obs::pack_execution_detail(static_cast<std::uint64_t>(cost), call.seq));
     orb_->network().node(orb_->node_id()).cpu().execute(
         cost, [this, servant, call, method, args = std::move(args), done = std::move(done), self,
                exec, parent] {
@@ -73,7 +78,8 @@ void InvocationService::handle_closed_request(Served& served, GroupId cs_group,
         if (cached->second.call.seq == request.call.seq) {
             if (request.mode != InvocationMode::kOneWay &&
                 endpoint_->is_member(cs_group)) {
-                endpoint_->multicast(cs_group, encode_envelope(cached->second));
+                endpoint_->multicast(cs_group, encode_envelope(cached->second),
+                                     cached->second.span);
             }
             return;
         }
@@ -86,7 +92,7 @@ void InvocationService::handle_closed_request(Served& served, GroupId cs_group,
                     served.reply_cache[reply.call.origin] = reply;
                     if (mode == InvocationMode::kOneWay) return;
                     if (endpoint_->is_member(cs_group)) {
-                        endpoint_->multicast(cs_group, encode_envelope(reply));
+                        endpoint_->multicast(cs_group, encode_envelope(reply), reply.span);
                     }
                 });
 }
@@ -108,7 +114,8 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
                 // A retry of a call we already answered (we may be a new
                 // request manager after a rebind, with the aggregate arrived
                 // via the server group's reply cache round).
-                endpoint_->multicast(cs_group, encode_envelope(cached->second));
+                endpoint_->multicast(cs_group, encode_envelope(cached->second),
+                                     cached->second.span);
                 return;
             }
             if (cached->second.call.seq > request.call.seq) return;
@@ -134,7 +141,7 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
     forward.args = request.args;
 
     if (request.mode == InvocationMode::kOneWay) {
-        endpoint_->multicast(served.server_group, encode_envelope(forward));
+        endpoint_->multicast(served.server_group, encode_envelope(forward), manager_span);
         return;
     }
 
@@ -145,11 +152,11 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
         // one-way.  With the restricted group this is the passive-
         // replication shape: manager = sequencer = primary.
         forward.flags = kFlagNoReply;
-        endpoint_->multicast(served.server_group, encode_envelope(forward));
+        endpoint_->multicast(served.server_group, encode_envelope(forward), manager_span);
         execute_and(served, request.call, request.method, request.args, manager_span,
                     [this, &served, cs_group, manager_span](ReplyEnv reply) {
                         served.reply_cache[reply.call.origin] = reply;
-                        metrics().add("invocation.rm_replies_collected");
+                        metrics().add(obs::metric::kInvRmRepliesCollected);
                         metrics().trace(obs::TraceKind::kReplyCollected,
                                         orb_->scheduler().now(), endpoint_->id().value(),
                                         manager_span, reply.span.span, reply.replier.value(),
@@ -170,7 +177,7 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
     collecting.reply_group = cs_group;
     collecting.span = manager_span;
     served.collecting.emplace(request.call, std::move(collecting));
-    endpoint_->multicast(served.server_group, encode_envelope(forward));
+    endpoint_->multicast(served.server_group, encode_envelope(forward), manager_span);
 }
 
 void InvocationService::handle_forward(Served& served, const ForwardEnv& forward) {
@@ -194,7 +201,8 @@ void InvocationService::handle_forward(Served& served, const ForwardEnv& forward
         const auto cached = served.reply_cache.find(forward.call.origin);
         if (cached != served.reply_cache.end()) {
             if (cached->second.call.seq == forward.call.seq) {
-                endpoint_->multicast(served.server_group, encode_envelope(cached->second));
+                endpoint_->multicast(served.server_group, encode_envelope(cached->second),
+                                     cached->second.span);
                 return;
             }
             if (cached->second.call.seq > forward.call.seq) return;
@@ -209,7 +217,8 @@ void InvocationService::handle_forward(Served& served, const ForwardEnv& forward
                     // Fig. 4(iii): each member multicasts its reply within
                     // the server group; the request manager gathers them.
                     if (endpoint_->is_member(served.server_group)) {
-                        endpoint_->multicast(served.server_group, encode_envelope(reply));
+                        endpoint_->multicast(served.server_group, encode_envelope(reply),
+                                             reply.span);
                     }
                 });
 }
@@ -220,7 +229,7 @@ void InvocationService::handle_server_reply(Served& served, const ReplyEnv& repl
     Served::Collecting& collecting = it->second;
     if (!collecting.repliers.insert(reply.replier).second) return;
     collecting.replies.push_back(ReplyEntry{reply.replier, reply.ok, reply.value});
-    metrics().add("invocation.rm_replies_collected");
+    metrics().add(obs::metric::kInvRmRepliesCollected);
     metrics().trace(obs::TraceKind::kReplyCollected, orb_->scheduler().now(),
                     endpoint_->id().value(), collecting.span, reply.span.span,
                     reply.replier.value(), reply.call.seq);
@@ -256,7 +265,7 @@ void InvocationService::send_aggregate(Served& served, const CallId& call, Group
     // The client (or the whole client group, §4.3) receives the replies as
     // one atomic multicast in the client/server (monitor) group.
     if (endpoint_->is_member(reply_group)) {
-        endpoint_->multicast(reply_group, encode_envelope(aggregate));
+        endpoint_->multicast(reply_group, encode_envelope(aggregate), aggregate.span);
     }
 }
 

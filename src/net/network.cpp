@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -14,15 +15,29 @@ NodeId Network::add_node(SiteId site) {
     const NodeId id(static_cast<NodeId::rep_type>(nodes_.size()));
     nodes_.push_back(std::make_unique<Node>(id, site, *scheduler_));
     nodes_.back()->cpu().attach_metrics(&metrics_);
+    // Nodes live as long as the network, so the gauge never dangles.
+    Node* raw = nodes_.back().get();
+    metrics_.register_gauge(obs::metric::kCpuBacklogUs, [raw](SimTime at) {
+        return static_cast<std::uint64_t>(raw->cpu().backlog(at));
+    });
     partition_cell_.push_back(0);
     return id;
+}
+
+void Network::enable_gauge_sampling(SimDuration interval, SimDuration horizon) {
+    NEWTOP_EXPECTS(interval > 0, "sampling interval must be positive");
+    NEWTOP_EXPECTS(horizon >= 0, "sampling horizon must be non-negative");
+    for (SimDuration offset = interval; offset <= horizon; offset += interval) {
+        scheduler_->schedule_after(offset,
+                                   [this] { metrics_.sample_gauges(scheduler_->now()); });
+    }
 }
 
 const Network::LinkCounterNames& Network::link_counters(SiteId from, SiteId to) {
     const auto key = std::make_pair(from, to);
     auto it = link_counter_names_.find(key);
     if (it == link_counter_names_.end()) {
-        const std::string prefix = "net.link." + std::to_string(from.value()) + "->" +
+        const std::string prefix = std::string(obs::metric::kNetLinkPrefix) + std::to_string(from.value()) + "->" +
                                    std::to_string(to.value());
         it = link_counter_names_
                  .emplace(key, LinkCounterNames{prefix + ".messages", prefix + ".bytes",
@@ -49,8 +64,8 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
 
     ++stats_.messages_sent;
     stats_.bytes_sent += payload.size();
-    metrics_.add("net.messages_sent");
-    metrics_.add("net.bytes_sent", payload.size());
+    metrics_.add(obs::metric::kNetMessagesSent);
+    metrics_.add(obs::metric::kNetBytesSent, payload.size());
     const LinkCounterNames& counters = link_counters(src.site(), dst.site());
     metrics_.add(counters.messages);
     metrics_.add(counters.bytes, payload.size());
@@ -58,14 +73,14 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     const LinkParams& link = topology_.link(src.site(), dst.site());
     if (src.site() != dst.site()) {
         ++stats_.wan_messages;
-        metrics_.add("net.wan_messages");
+        metrics_.add(obs::metric::kNetWanMessages);
     }
 
     // The extra-loss draw only happens while a burst is active, so runs
     // without bursts consume an unchanged random stream.
     if (rng_.next_bool(link.loss) || (extra_loss_ > 0.0 && rng_.next_bool(extra_loss_))) {
         ++stats_.messages_lost;
-        metrics_.add("net.messages_lost");
+        metrics_.add(obs::metric::kNetMessagesLost);
         metrics_.add(counters.drops);
         return;
     }
@@ -94,27 +109,27 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
                                       payload = std::move(payload)]() mutable {
         if (partition_cell_[from.value()] != partition_cell_[to.value()]) {
             ++stats_.messages_lost;
-            metrics_.add("net.messages_lost");
+            metrics_.add(obs::metric::kNetMessagesLost);
             metrics_.add(counters->drops);
             return;
         }
         Node& receiver = node(to);
         if (receiver.crashed()) {
             ++stats_.messages_lost;
-            metrics_.add("net.messages_lost");
+            metrics_.add(obs::metric::kNetMessagesLost);
             metrics_.add(counters->drops);
             return;
         }
         if (receiver.incarnation() != dst_incarnation) {
             ++stats_.messages_lost;
-            metrics_.add("net.messages_lost");
-            metrics_.add("net.stale_incarnation_drops");
+            metrics_.add(obs::metric::kNetMessagesLost);
+            metrics_.add(obs::metric::kNetStaleIncarnationDrops);
             metrics_.add(counters->drops);
             return;
         }
         ++stats_.messages_delivered;
-        metrics_.add("net.messages_delivered");
-        metrics_.observe("net.delivery_latency_us", scheduler_->now() - sent_at);
+        metrics_.add(obs::metric::kNetMessagesDelivered);
+        metrics_.observe(obs::metric::kNetDeliveryLatencyUs, scheduler_->now() - sent_at);
         receiver.deliver(from, std::move(payload));
     });
 }
@@ -122,11 +137,11 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
 void Network::crash(NodeId id) {
     Node& n = node(id);
     if (n.crashed()) {
-        metrics_.add("net.crash_ignored");
+        metrics_.add(obs::metric::kNetCrashIgnored);
         return;
     }
     n.crash();
-    metrics_.add("net.crashes");
+    metrics_.add(obs::metric::kNetCrashes);
 }
 
 void Network::restart(NodeId id, SimDuration delay) {
@@ -134,9 +149,9 @@ void Network::restart(NodeId id, SimDuration delay) {
     NEWTOP_EXPECTS(id.value() < nodes_.size(), "unknown node");
     scheduler_->schedule_after(delay, [this, id] {
         if (node(id).restart()) {
-            metrics_.add("net.restarts");
+            metrics_.add(obs::metric::kNetRestarts);
         } else {
-            metrics_.add("net.restart_ignored");
+            metrics_.add(obs::metric::kNetRestartIgnored);
         }
     });
 }

@@ -90,6 +90,13 @@ public:
     [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
     [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+    /// Sample every registered gauge (holdback depth, send credits, CPU
+    /// backlog, directory size, ...) every `interval`, for `horizon` of sim
+    /// time starting now.  All ticks are scheduled up front so the event
+    /// queue still drains — a self-rescheduling tick would keep an
+    /// otherwise-finished simulation alive forever.
+    void enable_gauge_sampling(SimDuration interval, SimDuration horizon);
+
 private:
     struct LinkCounterNames {
         std::string messages;

@@ -1,5 +1,6 @@
 #include "newtop/recovery_manager.hpp"
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -55,7 +56,7 @@ void RecoveryManager::note_recovered(std::size_t index) {
     if (gen.recovery_noted || index + 1 != generations_.size()) return;
     gen.recovery_noted = true;
     if (gen.crashed_at < 0) return;
-    net_->metrics().observe("recovery.mttr", net_->scheduler().now() - gen.crashed_at);
+    net_->metrics().observe(obs::metric::kRecoveryMttr, net_->scheduler().now() - gen.crashed_at);
 }
 
 }  // namespace newtop

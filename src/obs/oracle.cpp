@@ -26,8 +26,20 @@ const char* violation_kind_name(Violation::Kind kind) {
         case Violation::Kind::kVirtualSynchrony: return "virtual_synchrony";
         case Violation::Kind::kDuplicateDelivery: return "duplicate_delivery";
         case Violation::Kind::kReplyThreshold: return "reply_threshold";
+        case Violation::Kind::kTruncatedTrace: return "truncated_trace";
     }
     return "?";
+}
+
+std::vector<Violation> ProtocolOracle::check(const TraceDump& dump) const {
+    if (dump.dropped != 0) {
+        return {{Violation::Kind::kTruncatedTrace,
+                 std::to_string(dump.dropped) +
+                     " events were evicted from a bounded sink; invariants cannot be "
+                     "judged over a stream with holes. Re-run with a larger trace "
+                     "capacity."}};
+    }
+    return check(dump.events);
 }
 
 std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& events) const {

@@ -47,6 +47,7 @@ struct Violation {
         kVirtualSynchrony,
         kDuplicateDelivery,
         kReplyThreshold,
+        kTruncatedTrace,
     };
     Kind kind{Kind::kTotalOrder};
     std::string message;
@@ -61,6 +62,11 @@ public:
 
     /// Run every check over the stream; empty result = all invariants hold.
     [[nodiscard]] std::vector<Violation> check(const std::vector<TraceEvent>& events) const;
+
+    /// Dump-aware overload: refuses a truncated dump (dropped > 0) with a
+    /// single kTruncatedTrace violation instead of judging invariants over
+    /// a stream with holes.
+    [[nodiscard]] std::vector<Violation> check(const TraceDump& dump) const;
 
     /// One line per violation, for test failure messages.
     [[nodiscard]] static std::string report(const std::vector<Violation>& violations);

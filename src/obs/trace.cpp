@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace newtop::obs {
 
 const char* trace_kind_name(TraceKind kind) {
@@ -28,8 +31,20 @@ const char* trace_kind_name(TraceKind kind) {
         case TraceKind::kAggregateSent: return "aggregate_sent";
         case TraceKind::kExecutionBegun: return "execution_begun";
         case TraceKind::kExecutionDone: return "execution_done";
+        case TraceKind::kSendQueued: return "send_queued";
+        case TraceKind::kPayloadShipped: return "payload_shipped";
+        case TraceKind::kDataArrived: return "data_arrived";
+        case TraceKind::kPayloadDelivered: return "payload_delivered";
+        case TraceKind::kOrderAssigned: return "order_assigned";
     }
     return "?";
+}
+
+std::size_t trace_kind_index_from_name(std::string_view name) {
+    for (std::size_t i = 0; i < kTraceKindCount; ++i) {
+        if (name == trace_kind_name(static_cast<TraceKind>(i))) return i;
+    }
+    return kTraceKindCount;
 }
 
 std::uint64_t mix64(std::uint64_t x) {
@@ -49,11 +64,35 @@ std::uint64_t span_id(std::uint64_t trace, std::uint64_t actor, SpanRole role) {
     return id == 0 ? 1 : id;
 }
 
+std::uint64_t multicast_trace_id(std::uint64_t endpoint, std::uint64_t counter) {
+    std::uint64_t id = mix64(mix64(endpoint ^ 0x4d43415354ULL) + counter);  // "MCAST"
+    return id == 0 ? 1 : id;
+}
+
 std::size_t VectorTraceSink::count(TraceKind kind) const {
     return static_cast<std::size_t>(
         std::count_if(events_.begin(), events_.end(),
                       [kind](const TraceEvent& e) { return e.kind == kind; }));
 }
+
+namespace {
+
+void append_event_json(std::string& out, const TraceEvent& e) {
+    out += "{\"at\":" + std::to_string(e.at);
+    out += ",\"kind\":\"";
+    out += trace_kind_name(e.kind);
+    out += "\",\"actor\":" + std::to_string(e.actor);
+    out += ",\"subject\":" + std::to_string(e.subject);
+    out += ",\"detail\":" + std::to_string(e.detail);
+    if (e.trace != 0) {
+        out += ",\"trace\":" + std::to_string(e.trace);
+        out += ",\"span\":" + std::to_string(e.span);
+        out += ",\"parent\":" + std::to_string(e.parent);
+    }
+    out += '}';
+}
+
+}  // namespace
 
 std::string VectorTraceSink::to_json() const {
     std::string out = "[";
@@ -61,30 +100,250 @@ std::string VectorTraceSink::to_json() const {
     for (const TraceEvent& e : events_) {
         if (!first) out += ',';
         first = false;
-        out += "{\"at\":" + std::to_string(e.at);
-        out += ",\"kind\":\"";
-        out += trace_kind_name(e.kind);
-        out += "\",\"actor\":" + std::to_string(e.actor);
-        out += ",\"subject\":" + std::to_string(e.subject);
-        out += ",\"detail\":" + std::to_string(e.detail);
-        if (e.trace != 0) {
-            out += ",\"trace\":" + std::to_string(e.trace);
-            out += ",\"span\":" + std::to_string(e.span);
-            out += ",\"parent\":" + std::to_string(e.parent);
-        }
-        out += '}';
+        append_event_json(out, e);
     }
     out += ']';
     return out;
 }
 
+std::string TraceDump::to_json() const {
+    std::string out = "{\"dropped\":" + std::to_string(dropped);
+    out += ",\"expectations\":[";
+    bool first = true;
+    for (const TraceExpectation& x : expectations) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"metric\":\"";
+        out += x.metric;
+        out += "\",\"count\":" + std::to_string(x.count);
+        out += ",\"sum_us\":" + std::to_string(x.sum_us) + "}";
+    }
+    out += "],\"events\":[";
+    first = true;
+    for (const TraceEvent& e : events) {
+        if (!first) out += ',';
+        first = false;
+        append_event_json(out, e);
+    }
+    out += "]}";
+    return out;
+}
+
+// -- TraceDump parsing --------------------------------------------------------
+//
+// A deliberately minimal recursive-descent parser for exactly the JSON that
+// TraceDump::to_json() emits (plus arbitrary key order and whitespace).  No
+// external JSON dependency exists in this tree and the profiler only ever
+// reads its own dumps, so strictness beats generality here.
+
+namespace {
+
+struct DumpParser {
+    std::string_view s;
+    std::size_t i{0};
+    std::string err;
+
+    bool fail(std::string message) {
+        if (err.empty()) err = std::move(message) + " at offset " + std::to_string(i);
+        return false;
+    }
+
+    void skip_ws() {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+            ++i;
+        }
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool peek(char c) {
+        skip_ws();
+        return i < s.size() && s[i] == c;
+    }
+
+    bool parse_string(std::string& out) {
+        out.clear();
+        if (!consume('"')) return false;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size()) return fail("unterminated escape");
+                switch (s[i]) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    default: return fail("unsupported escape");
+                }
+                ++i;
+            } else {
+                out += s[i++];
+            }
+        }
+        if (i >= s.size()) return fail("unterminated string");
+        ++i;  // closing quote
+        return true;
+    }
+
+    bool parse_int(std::int64_t& out) {
+        skip_ws();
+        const bool negative = i < s.size() && s[i] == '-';
+        if (negative) ++i;
+        if (i >= s.size() || s[i] < '0' || s[i] > '9') return fail("expected integer");
+        std::uint64_t magnitude = 0;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+            magnitude = magnitude * 10 + static_cast<std::uint64_t>(s[i] - '0');
+            ++i;
+        }
+        out = negative ? -static_cast<std::int64_t>(magnitude)
+                       : static_cast<std::int64_t>(magnitude);
+        return true;
+    }
+
+    bool parse_uint(std::uint64_t& out) {
+        skip_ws();
+        if (i >= s.size() || s[i] < '0' || s[i] > '9') return fail("expected integer");
+        out = 0;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+            out = out * 10 + static_cast<std::uint64_t>(s[i] - '0');
+            ++i;
+        }
+        return true;
+    }
+
+    bool parse_expectation(TraceExpectation& out) {
+        if (!consume('{')) return false;
+        bool first = true;
+        while (!peek('}')) {
+            if (!first && !consume(',')) return false;
+            first = false;
+            std::string key;
+            if (!parse_string(key) || !consume(':')) return false;
+            if (key == "metric") {
+                if (!parse_string(out.metric)) return false;
+            } else if (key == "count") {
+                if (!parse_uint(out.count)) return false;
+            } else if (key == "sum_us") {
+                if (!parse_int(out.sum_us)) return false;
+            } else {
+                return fail("unknown expectation key '" + key + "'");
+            }
+        }
+        return consume('}');
+    }
+
+    bool parse_event(TraceEvent& out) {
+        if (!consume('{')) return false;
+        bool first = true;
+        while (!peek('}')) {
+            if (!first && !consume(',')) return false;
+            first = false;
+            std::string key;
+            if (!parse_string(key) || !consume(':')) return false;
+            if (key == "at") {
+                std::int64_t at = 0;
+                if (!parse_int(at)) return false;
+                out.at = at;
+            } else if (key == "kind") {
+                std::string name;
+                if (!parse_string(name)) return false;
+                const std::size_t index = trace_kind_index_from_name(name);
+                if (index >= kTraceKindCount) return fail("unknown kind '" + name + "'");
+                out.kind = static_cast<TraceKind>(index);
+            } else if (key == "actor") {
+                if (!parse_uint(out.actor)) return false;
+            } else if (key == "subject") {
+                if (!parse_uint(out.subject)) return false;
+            } else if (key == "detail") {
+                if (!parse_uint(out.detail)) return false;
+            } else if (key == "trace") {
+                if (!parse_uint(out.trace)) return false;
+            } else if (key == "span") {
+                if (!parse_uint(out.span)) return false;
+            } else if (key == "parent") {
+                if (!parse_uint(out.parent)) return false;
+            } else {
+                return fail("unknown event key '" + key + "'");
+            }
+        }
+        return consume('}');
+    }
+
+    bool parse_dump(TraceDump& out) {
+        if (!consume('{')) return false;
+        bool first = true;
+        while (!peek('}')) {
+            if (!first && !consume(',')) return false;
+            first = false;
+            std::string key;
+            if (!parse_string(key) || !consume(':')) return false;
+            if (key == "dropped") {
+                if (!parse_uint(out.dropped)) return false;
+            } else if (key == "expectations") {
+                if (!consume('[')) return false;
+                while (!peek(']')) {
+                    if (!out.expectations.empty() && !consume(',')) return false;
+                    TraceExpectation x;
+                    if (!parse_expectation(x)) return false;
+                    out.expectations.push_back(std::move(x));
+                }
+                if (!consume(']')) return false;
+            } else if (key == "events") {
+                if (!consume('[')) return false;
+                while (!peek(']')) {
+                    if (!out.events.empty() && !consume(',')) return false;
+                    TraceEvent e;
+                    if (!parse_event(e)) return false;
+                    out.events.push_back(e);
+                }
+                if (!consume(']')) return false;
+            } else {
+                return fail("unknown dump key '" + key + "'");
+            }
+        }
+        if (!consume('}')) return false;
+        skip_ws();
+        if (i != s.size()) return fail("trailing data");
+        return true;
+    }
+};
+
+}  // namespace
+
+bool parse_trace_dump(std::string_view json, TraceDump& out, std::string& error) {
+    out = TraceDump{};
+    DumpParser parser{json, 0, {}};
+    if (parser.parse_dump(out)) return true;
+    error = parser.err.empty() ? "malformed trace dump" : parser.err;
+    return false;
+}
+
 RingTraceSink::RingTraceSink(std::size_t capacity) : buffer_(capacity == 0 ? 1 : capacity) {}
 
 void RingTraceSink::record(const TraceEvent& event) {
-    if (size_ == buffer_.size()) ++dropped_;
+    if (size_ == buffer_.size()) {
+        ++dropped_;
+        if (metrics_ != nullptr) metrics_->add(metric::kObsTraceDropped);
+    }
     buffer_[head_] = event;
     head_ = (head_ + 1) % buffer_.size();
     size_ = std::min(size_ + 1, buffer_.size());
+}
+
+TraceDump RingTraceSink::dump() const {
+    TraceDump out;
+    out.dropped = dropped_;
+    out.events = snapshot();
+    return out;
 }
 
 std::vector<TraceEvent> RingTraceSink::snapshot() const {

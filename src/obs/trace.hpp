@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/time.hpp"
@@ -53,13 +54,23 @@ enum class TraceKind : std::uint8_t {
     kAggregateSent = 18,    // request manager multicast the gathered replies
     kExecutionBegun = 19,   // a server replica started executing the servant
     kExecutionDone = 20,    // the servant finished and the reply went out
+    // gcs data-path phase boundaries (latency attribution)
+    kSendQueued = 21,        // payload parked waiting for a send credit
+    kPayloadShipped = 22,    // payload left the endpoint on a DATA message
+    kDataArrived = 23,       // DATA message ingested in FIFO order at a member
+    kPayloadDelivered = 24,  // one payload handed to the app layer
+    kOrderAssigned = 25,     // sequencer broadcast the order record for a ref
 };
 
 /// Number of TraceKind values; keep in sync with the enum above (the
 /// exhaustiveness test in tests/obs_test.cpp fails if a kind lacks a name).
-inline constexpr std::size_t kTraceKindCount = 21;
+inline constexpr std::size_t kTraceKindCount = 26;
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);
+
+/// Inverse of trace_kind_name(); returns kTraceKindCount for an unknown
+/// name (callers treat that as a parse error).
+[[nodiscard]] std::size_t trace_kind_index_from_name(std::string_view name);
 
 /// Identifies one span inside one trace.  A zero trace id means "not part
 /// of any invocation" (pure GCS traffic, membership events, ...).
@@ -72,7 +83,9 @@ struct SpanContext {
 
 /// The principal a span belongs to; folded into the span id so the same
 /// endpoint can hold distinct client/manager/server spans of one trace.
-enum class SpanRole : std::uint8_t { kClient = 1, kManager = 2, kServer = 3 };
+/// kSender marks the synthesized root span of a bare GCS multicast (traffic
+/// that is not part of any invocation but still profiled per payload).
+enum class SpanRole : std::uint8_t { kClient = 1, kManager = 2, kServer = 3, kSender = 4 };
 
 /// SplitMix64 finalizer: a cheap, deterministic 64-bit mixer.
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x);
@@ -85,6 +98,11 @@ enum class SpanRole : std::uint8_t { kClient = 1, kManager = 2, kServer = 3 };
 /// Deterministic span id for `actor` playing `role` in `trace`.  Never
 /// returns zero.
 [[nodiscard]] std::uint64_t span_id(std::uint64_t trace, std::uint64_t actor, SpanRole role);
+
+/// Deterministic trace id for the `counter`-th bare multicast submitted by
+/// `endpoint` (GCS traffic outside any invocation).  Never returns zero and
+/// never collides with invocation_trace_id for realistic inputs.
+[[nodiscard]] std::uint64_t multicast_trace_id(std::uint64_t endpoint, std::uint64_t counter);
 
 // -- detail-field packing -----------------------------------------------------
 //
@@ -125,6 +143,19 @@ enum class SpanRole : std::uint8_t { kClient = 1, kManager = 2, kServer = 3 };
     return detail >> 32;
 }
 
+/// kExecutionBegun detail: low 32 bits the call seq, high 32 bits the
+/// execution cost in microseconds (handoff + servant cost).  The profiler
+/// splits the begun→done interval into cpu_wait (queueing) and execution
+/// (the packed cost) with it.
+[[nodiscard]] constexpr std::uint64_t pack_execution_detail(std::uint64_t cost_us,
+                                                            std::uint64_t seq) {
+    return (cost_us << 32) | (seq & 0xffffffffULL);
+}
+
+[[nodiscard]] constexpr std::uint64_t execution_detail_cost(std::uint64_t detail) {
+    return detail >> 32;
+}
+
 /// FNV-1a over a sequence of 64-bit values (used for membership digests;
 /// View.members is sorted, so the digest is order-independent by
 /// construction).
@@ -161,6 +192,34 @@ public:
     virtual void record(const TraceEvent& event) = 0;
 };
 
+/// An independently measured latency total embedded in a trace dump: the
+/// profiler cross-checks its trace-derived sums against these (the
+/// self-validation that makes a >1% mismatch a tracing bug, not a report).
+struct TraceExpectation {
+    std::string metric;        // histogram the numbers came from
+    std::uint64_t count{0};    // samples in the histogram
+    std::int64_t sum_us{0};    // sum of the samples, microseconds
+
+    friend bool operator==(const TraceExpectation&, const TraceExpectation&) = default;
+};
+
+/// A self-describing trace artifact: the event stream plus the metadata the
+/// profiler needs to refuse truncated input and to reconcile its phase sums
+/// against independently measured latencies.  Serialized as one JSON object
+/// (see to_json/parse_trace_dump) so `tools/newtop_prof` can consume dumps
+/// written by benches or tests.
+struct TraceDump {
+    std::uint64_t dropped{0};  // events evicted from a bounded sink
+    std::vector<TraceExpectation> expectations;
+    std::vector<TraceEvent> events;
+
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Parse a dump produced by TraceDump::to_json().  On malformed input
+/// returns false and sets `error`; `out` is left in an unspecified state.
+[[nodiscard]] bool parse_trace_dump(std::string_view json, TraceDump& out, std::string& error);
+
 /// Buffers every event in order — the workhorse for tests and offline
 /// analysis.
 class VectorTraceSink final : public TraceSink {
@@ -193,8 +252,18 @@ public:
     /// Events evicted to make room (0 until the ring wraps).
     [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
+    /// Mirror evictions into the counter obs.trace_dropped so overflow is a
+    /// first-class metric rather than a property one must remember to poll.
+    /// Not owned; pass nullptr to detach.
+    void attach_metrics(class MetricsRegistry* metrics) { metrics_ = metrics; }
+
     /// Buffered events, oldest first.
     [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+    /// Package the buffered events (oldest first) as a TraceDump carrying
+    /// the eviction count; callers append expectations before serializing.
+    [[nodiscard]] TraceDump dump() const;
+
     void clear();
 
 private:
@@ -202,6 +271,7 @@ private:
     std::size_t head_{0};  // next write position
     std::size_t size_{0};
     std::uint64_t dropped_{0};
+    class MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace newtop::obs

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/calibration.hpp"
+#include "obs/names.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -47,12 +48,12 @@ OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, const Bytes& args
                       ReplyHandler handler, SimDuration timeout) {
     NEWTOP_EXPECTS(handler != nullptr, "two-way invoke needs a reply handler");
     if (process_defunct()) return OrbCallId(0);
-    metrics().add("orb.invocations");
+    metrics().add(obs::metric::kOrbInvocations);
     const std::uint64_t request_id = next_request_id_++;
     Pending pending{std::move(handler), 0};
     if (timeout > 0) {
         pending.timer = scheduler().schedule_after(timeout, [this, request_id] {
-            if (pending_.contains(request_id)) metrics().add("orb.call_timeouts");
+            if (pending_.contains(request_id)) metrics().add(obs::metric::kOrbCallTimeouts);
             complete(request_id, ReplyStatus::kTimeout, Bytes{});
         });
     }
@@ -69,7 +70,7 @@ OrbCallId Orb::invoke(const Ior& target, std::uint32_t method, const Bytes& args
 
 void Orb::invoke_oneway(const Ior& target, std::uint32_t method, const Bytes& args) {
     if (process_defunct()) return;
-    metrics().add("orb.oneways");
+    metrics().add(obs::metric::kOrbOneways);
     Bytes wire = encode_request(/*request_id=*/0, /*oneway=*/true, target.key, method, args);
     Node& self = network_->node(node_);
     self.cpu().execute(calibration::marshal_cost(wire.size()),
@@ -109,7 +110,7 @@ void Orb::on_message(NodeId from, Bytes payload) {
 }
 
 void Orb::handle_request(NodeId from, Decoder& d, Bytes wire) {
-    metrics().add("orb.requests_handled");
+    metrics().add(obs::metric::kOrbRequestsHandled);
     const std::uint64_t request_id = d.get_u64();
     const bool oneway = d.get_bool();
     ObjectKey key;
@@ -159,7 +160,7 @@ void Orb::handle_request(NodeId from, Decoder& d, Bytes wire) {
 }
 
 void Orb::send_reply(NodeId to, std::uint64_t request_id, ReplyStatus status, Bytes payload) {
-    metrics().add("orb.replies_sent");
+    metrics().add(obs::metric::kOrbRepliesSent);
     // Fixed framing (type + id + status + blob length prefix) around the
     // payload: size it exactly and encode into a recycled buffer.
     const std::size_t frame_size = 1 + 8 + 1 + 4 + payload.size();
@@ -185,7 +186,7 @@ void Orb::handle_reply(Decoder& d) {
     }
     Bytes payload = d.get_blob();
     if (pending_.find(request_id) == pending_.end()) return;  // late or duplicate reply
-    metrics().add("orb.replies_received");
+    metrics().add(obs::metric::kOrbRepliesReceived);
 
     Node& self = network_->node(node_);
     self.cpu().execute(calibration::unmarshal_cost(payload.size()),
@@ -229,7 +230,7 @@ void Orb::try_group_member(Iogr group, std::size_t attempt, std::uint32_t method
             const bool retryable =
                 status == ReplyStatus::kTimeout || status == ReplyStatus::kNoObject;
             if (retryable && !last) {
-                metrics().add("orb.group_retries");
+                metrics().add(obs::metric::kOrbGroupRetries);
                 try_group_member(std::move(group), attempt + 1, method, std::move(args),
                                  std::move(handler), per_member_timeout);
             } else {

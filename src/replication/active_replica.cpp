@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -107,7 +108,7 @@ public:
             // at their clients; they are not part of the new history.
             buffered_.clear();
             install_snapshot(app_->snapshot());
-            nso_->metrics().add("replication.state_refounds");
+            nso_->metrics().add(obs::metric::kReplicationStateRefounds);
             return;
         }
         // The senior continuing member becomes the snapshot donor for every

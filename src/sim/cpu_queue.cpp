@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/check.hpp"
 
 namespace newtop {
@@ -13,9 +14,9 @@ void CpuQueue::execute(SimDuration cost, std::function<void()> fn) {
     if (dead_) return;
     const SimTime start = std::max(scheduler_->now(), busy_until_);
     if (metrics_ != nullptr) {
-        metrics_->add("cpu.tasks");
-        metrics_->add("cpu.busy_us", static_cast<std::uint64_t>(cost));
-        metrics_->observe("cpu.queue_wait_us", start - scheduler_->now());
+        metrics_->add(obs::metric::kCpuTasks);
+        metrics_->add(obs::metric::kCpuBusyUs, static_cast<std::uint64_t>(cost));
+        metrics_->observe(obs::metric::kCpuQueueWaitUs, start - scheduler_->now());
     }
     busy_until_ = start + cost;
     consumed_ += cost;

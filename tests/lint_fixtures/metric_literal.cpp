@@ -1,0 +1,14 @@
+// Lint fixture: must trigger `metric-name` exactly once.  Never compiled.
+
+namespace fixture {
+
+struct FakeRegistry {
+    void add(const char*) {}
+};
+
+void bump(FakeRegistry& metrics) { metrics.add("gcs.delivered"); }
+
+// Non-metric literals with dots must not fire.
+const char* version() { return "release.notes"; }
+
+}  // namespace fixture

@@ -84,6 +84,23 @@ TEST(LintFixtures, LayeringTriggersOnce) {
     EXPECT_EQ(findings[0].line, 3);  // the orb include, not the util one
 }
 
+TEST(LintFixtures, MetricNameTriggersOnce) {
+    const auto findings = scan_fixture("metric_literal.cpp", "src/gcs/fixture.cpp");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, kRuleMetricName);
+    EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(LintFixtures, MetricNameScopedToSrcAndExemptsNameTable) {
+    const std::string content = read_fixture("metric_literal.cpp");
+    // The central table itself may (must) spell the literals.
+    EXPECT_TRUE(scan_source("src/obs/names.hpp", content).empty());
+    // Tests / tools / benches may assert on literal names freely.
+    EXPECT_TRUE(scan_source("tests/fixture.cpp", content).empty());
+    EXPECT_TRUE(scan_source("tools/fixture.cpp", content).empty());
+    EXPECT_TRUE(scan_source("bench/fixture.cpp", content).empty());
+}
+
 // --- clean and suppression fixtures --------------------------------------
 
 TEST(LintFixtures, CleanFixturePasses) {

@@ -58,7 +58,7 @@ TraceEvent installed(SimTime at, std::uint64_t actor, std::uint64_t group,
 }
 
 TEST(ProtocolOracle, EmptyStreamIsClean) {
-    EXPECT_TRUE(obs::ProtocolOracle().check({}).empty());
+    EXPECT_TRUE(obs::ProtocolOracle().check(std::vector<TraceEvent>{}).empty());
 }
 
 TEST(ProtocolOracle, AgreeingMembersAreClean) {

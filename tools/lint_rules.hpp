@@ -29,11 +29,12 @@ inline constexpr std::string_view kRuleUnordered = "unordered-container";
 inline constexpr std::string_view kRulePointerKey = "pointer-key";
 inline constexpr std::string_view kRuleFloatSim = "float-sim";
 inline constexpr std::string_view kRuleLayerDag = "layer-dag";
+inline constexpr std::string_view kRuleMetricName = "metric-name";
 inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
 
-inline constexpr std::array<std::string_view, 8> kAllRules = {
-    kRuleWallClock, kRuleRawRandom,  kRuleGetenv,   kRuleUnordered,
-    kRulePointerKey, kRuleFloatSim,  kRuleLayerDag, kRuleBadSuppression,
+inline constexpr std::array<std::string_view, 9> kAllRules = {
+    kRuleWallClock,  kRuleRawRandom, kRuleGetenv,     kRuleUnordered,  kRulePointerKey,
+    kRuleFloatSim,   kRuleLayerDag,  kRuleMetricName, kRuleBadSuppression,
 };
 
 // ---------------------------------------------------------------------------
@@ -102,6 +103,18 @@ inline constexpr std::array<std::string_view, 9> kProtocolVisibleDirs = {
 /// raw-random and getenv are sanctioned under these prefixes.
 inline constexpr std::array<std::string_view, 1> kRandomSanctionedDirs = {"src/util/"};
 inline constexpr std::array<std::string_view, 1> kEnvSanctionedDirs = {"src/util/"};
+
+/// Metric / phase name prefixes that must come from the central table
+/// (src/obs/names.hpp).  A typo'd literal would silently fork a new counter
+/// or time series and break the profiler's reconciliation, so string
+/// literals with these prefixes are banned in src/ outside that header —
+/// call sites spell obs::metric::k... / obs::phase::k... instead.
+inline constexpr std::array<std::string_view, 10> kMetricPrefixes = {
+    "gcs.",      "invocation.",  "cpu.", "net.",  "orb.",
+    "recovery.", "replication.", "obs.", "prof.", "directory.",
+};
+inline constexpr std::string_view kMetricScopeDir = "src/";
+inline constexpr std::string_view kMetricTableFile = "src/obs/names.hpp";
 
 /// float-sim applies under src/: sim-time math is integral-microsecond plus
 /// `double` for derived ratios (util/time.hpp); introducing `float` anywhere

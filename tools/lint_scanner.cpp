@@ -412,6 +412,27 @@ void check_float(std::string_view rel_path, const std::vector<Token>& t,
     }
 }
 
+/// metric-name: metric/phase name literals under src/ must come from the
+/// central table (src/obs/names.hpp); a typo'd literal would silently fork
+/// a new counter or series and break profiler reconciliation.
+void check_metric_names(std::string_view rel_path, const std::vector<Token>& t,
+                        std::vector<Finding>& out) {
+    if (rel_path.substr(0, kMetricScopeDir.size()) != kMetricScopeDir) return;
+    if (rel_path == kMetricTableFile) return;
+    for (const Token& tok : t) {
+        if (tok.kind != TokKind::kString) continue;
+        for (const std::string_view prefix : kMetricPrefixes) {
+            if (std::string_view(tok.text).substr(0, prefix.size()) == prefix) {
+                add(out, tok.line, kRuleMetricName,
+                    "metric/phase name literal \"" + tok.text +
+                        "\" bypasses the central name table; use the obs::metric / "
+                        "obs::phase constant from obs/names.hpp");
+                break;
+            }
+        }
+    }
+}
+
 /// layer-dag: quoted includes from src/<layer>/ must stay within the
 /// declared dependency set.
 void check_layering(std::string_view rel_path, const std::vector<Include>& includes,
@@ -465,6 +486,7 @@ std::vector<Finding> scan_source(std::string_view rel_path, std::string_view con
     check_banned_identifiers(rel_path, lx.tokens, raw);
     check_containers(rel_path, lx.tokens, raw);
     check_float(rel_path, lx.tokens, raw);
+    check_metric_names(rel_path, lx.tokens, raw);
     check_layering(rel_path, find_includes(lx), raw);
 
     std::vector<Finding> out;

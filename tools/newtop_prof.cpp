@@ -1,0 +1,107 @@
+// newtop_prof — trace-to-report latency-attribution CLI.
+//
+//   newtop_prof trace.json               # human-readable phase breakdown
+//   newtop_prof --json trace.json        # deterministic JSON report
+//   newtop_prof -o report.json trace.json
+//
+// Input is a TraceDump artifact (TraceDump::to_json()) as written by the
+// bench harness (--profile) or a test.  The tool reconstructs every
+// invocation's critical path, prints per-phase percentiles grouped by
+// (binding, mode), and cross-checks the trace-derived sums against the
+// histogram totals embedded in the dump.
+//
+// Exit status: 0 = report produced and every expectation reconciled within
+// 1%; 1 = truncated/unparseable dump or a reconciliation mismatch; 2 = bad
+// usage.  CI gates on this.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/oracle.hpp"
+#include "obs/profiler.hpp"
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: newtop_prof [--json] [--text] [-o FILE] TRACE_DUMP.json\n"
+                 "  --json     emit the report as deterministic JSON (default: text)\n"
+                 "  --text     emit the human-readable table\n"
+                 "  -o FILE    write the report to FILE instead of stdout\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    std::string out_path;
+    std::string in_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--text") {
+            json = false;
+        } else if (arg == "-o") {
+            if (i + 1 >= argc) return usage();
+            out_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return usage();
+        } else if (in_path.empty()) {
+            in_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (in_path.empty()) return usage();
+
+    std::ifstream in(in_path);
+    if (!in) {
+        std::cerr << "newtop_prof: cannot open " << in_path << "\n";
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    newtop::obs::TraceDump dump;
+    std::string error;
+    if (!newtop::obs::parse_trace_dump(buffer.str(), dump, error)) {
+        std::cerr << "newtop_prof: " << in_path << " is not a trace dump: " << error << "\n";
+        return 1;
+    }
+
+    const newtop::obs::ProfileReport report = newtop::obs::LatencyProfiler{}.analyze(dump);
+    const std::string rendered = json ? report.to_json() : report.to_text();
+    if (out_path.empty()) {
+        std::cout << rendered;
+        if (json) std::cout << "\n";
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "newtop_prof: cannot write " << out_path << "\n";
+            return 1;
+        }
+        out << rendered;
+        if (json) out << "\n";
+    }
+
+    if (!report.ok) {
+        std::cerr << "newtop_prof: refused: " << report.error << "\n";
+        return 1;
+    }
+    if (!report.reconciled()) {
+        std::cerr << "newtop_prof: reconciliation failed — trace-derived phase sums "
+                     "disagree with the embedded histogram totals by more than 1%. "
+                     "This indicates a tracing bug, not a slow run.\n";
+        for (const auto& r : report.reconciliations) {
+            if (r.ok) continue;
+            std::cerr << "  " << r.metric << ": count " << r.actual_count << "/"
+                      << r.expected_count << ", sum " << r.actual_sum_us << "/"
+                      << r.expected_sum_us << "us\n";
+        }
+        return 1;
+    }
+    return 0;
+}
