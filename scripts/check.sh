@@ -17,8 +17,8 @@
 #                    (default 200) in both trees.  On failure the campaign
 #                    prints the failing seed; replay it with
 #                        NEWTOP_FUZZ_SEED=<seed> build/tools/newtop_fuzz
-#   --bench          fast path: build and run the LAN saturation and
-#                    latency-breakdown benchmarks into build/, gate the
+#   --bench          fast path: build and run the LAN saturation,
+#                    latency-breakdown and reconfig benchmarks into build/, gate the
 #                    trace dumps through newtop_prof (phase sums must
 #                    reconcile with the histograms within 1%), diff against
 #                    the committed BENCH_*.json baselines, then refresh the
@@ -67,7 +67,7 @@ if [[ "${BENCH_ONLY}" == 1 ]]; then
     echo "== bench (build)"
     cmake -B build -S . >/dev/null
     cmake --build build -j "${JOBS}" \
-        --target bench_saturation bench_latency_breakdown newtop_prof
+        --target bench_saturation bench_latency_breakdown bench_reconfig newtop_prof
     rm -rf build/bench_traces
     echo "== bench_saturation (run)"
     NEWTOP_BENCH_OUT=build/BENCH_saturation.json \
@@ -77,6 +77,9 @@ if [[ "${BENCH_ONLY}" == 1 ]]; then
     NEWTOP_BENCH_OUT=build/BENCH_latency_breakdown.json \
     NEWTOP_TRACE_DUMP_OUT=build/bench_traces \
         build/bench/bench_latency_breakdown
+    echo "== bench_reconfig (run)"
+    NEWTOP_BENCH_OUT=build/BENCH_reconfig.json \
+        build/bench/bench_reconfig
     echo "== newtop_prof reconciliation gate"
     mkdir -p build/prof_reports
     for dump in build/bench_traces/*.trace.json; do
@@ -87,9 +90,11 @@ if [[ "${BENCH_ONLY}" == 1 ]]; then
     echo "== diff vs committed baselines"
     python3 scripts/bench_diff.py build/BENCH_saturation.json
     python3 scripts/bench_diff.py build/BENCH_latency_breakdown.json
+    python3 scripts/bench_diff.py build/BENCH_reconfig.json
     cp build/BENCH_saturation.json BENCH_saturation.json
     cp build/BENCH_latency_breakdown.json BENCH_latency_breakdown.json
-    echo "== bench artifacts refreshed (BENCH_saturation.json, BENCH_latency_breakdown.json)"
+    cp build/BENCH_reconfig.json BENCH_reconfig.json
+    echo "== bench artifacts refreshed (BENCH_saturation.json, BENCH_latency_breakdown.json, BENCH_reconfig.json)"
     exit 0
 fi
 
@@ -121,6 +126,12 @@ run_tree() {
         if ! "${dir}/tools/newtop_fuzz" --seeds "${CAMPAIGN_SEEDS}"; then
             echo "!! campaign failed in ${dir}; replay the seed printed above with:"
             echo "!!     NEWTOP_FUZZ_SEED=<seed> ${dir}/tools/newtop_fuzz"
+            exit 1
+        fi
+        echo "== chaos campaign ${dir} (${CAMPAIGN_SEEDS} seeds, reconfig-enabled)"
+        if ! "${dir}/tools/newtop_fuzz" --seeds "${CAMPAIGN_SEEDS}" --base 1000000 --reconfig; then
+            echo "!! reconfig campaign failed in ${dir}; replay the seed printed above with:"
+            echo "!!     NEWTOP_FUZZ_SEED=<seed> NEWTOP_FUZZ_RECONFIG=1 ${dir}/tools/newtop_fuzz"
             exit 1
         fi
     fi

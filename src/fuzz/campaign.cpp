@@ -26,6 +26,13 @@ bool targets_replica(const FaultSpec& fault) {
            fault.kind == FaultSpec::Kind::kRestart;
 }
 
+/// Faults whose `a` operand is a service index.  kReconfigure has no
+/// replica operand, so it only participates in service-level erasure and
+/// renumbering, never in without_replica's `b` adjustments.
+bool targets_service(const FaultSpec& fault) {
+    return targets_replica(fault) || fault.kind == FaultSpec::Kind::kReconfigure;
+}
+
 Scenario without_fault(Scenario s, std::size_t f) {
     s.faults.erase(s.faults.begin() + static_cast<std::ptrdiff_t>(f));
     return s;
@@ -79,10 +86,10 @@ Scenario without_service(Scenario s, std::size_t j) {
         if (client.service > static_cast<int>(j)) --client.service;
     }
     std::erase_if(s.faults, [&](const FaultSpec& fault) {
-        return targets_replica(fault) && fault.a == static_cast<int>(j);
+        return targets_service(fault) && fault.a == static_cast<int>(j);
     });
     for (FaultSpec& fault : s.faults) {
-        if (targets_replica(fault) && fault.a > static_cast<int>(j)) {
+        if (targets_service(fault) && fault.a > static_cast<int>(j)) {
             --fault.a;
         }
     }

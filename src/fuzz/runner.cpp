@@ -302,6 +302,37 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
                                       [&net] { net.set_extra_loss(0.0); });
                 break;
             }
+            case FaultSpec::Kind::kReconfigure: {
+                // Resolved at fire time: the first live, installed replica of
+                // the service proposes a runtime switch of the group's
+                // total-order protocol through the group's own ordered
+                // stream.  If every replica is down or mid-rejoin the fault
+                // is a no-op — exactly what a real operator's request would
+                // be against an unreachable group.
+                const int j = fault.a;
+                const OrderMode target = fault.b == 0 ? OrderMode::kTotalAsymmetric
+                                                      : OrderMode::kTotalSymmetric;
+                scheduler.schedule_at(at, [&, j, target] {
+                    const auto* info = directory.find_group(service_name(j));
+                    if (info == nullptr) return;
+                    const int replicas = static_cast<int>(
+                        scenario.services[static_cast<std::size_t>(j)].server_sites.size());
+                    for (int k = 0; k < replicas; ++k) {
+                        ServerRt& server = *servers[static_cast<std::size_t>(
+                            scenario.server_actor(j, k))];
+                        if (net.node(server.mgr->node_id()).crashed()) continue;
+                        GroupCommEndpoint& gc = server.mgr->nso().group_comm();
+                        if (!gc.is_member(info->id)) continue;
+                        const GroupConfig* current = gc.group_config(info->id);
+                        if (current == nullptr || current->order == target) return;
+                        GroupConfig next = *current;
+                        next.order = target;
+                        gc.reconfigure(info->id, next);
+                        return;
+                    }
+                });
+                break;
+            }
         }
     }
 

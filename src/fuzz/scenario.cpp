@@ -45,6 +45,7 @@ const char* fault_kind_name(FaultSpec::Kind kind) {
         case FaultSpec::Kind::kHeal: return "heal";
         case FaultSpec::Kind::kLossBurst: return "loss_burst";
         case FaultSpec::Kind::kRestart: return "restart_server";
+        case FaultSpec::Kind::kReconfigure: return "reconfigure";
     }
     return "?";
 }
@@ -280,6 +281,37 @@ Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
         }
         std::stable_sort(s.faults.begin(), s.faults.end(),
                          [](const FaultSpec& x, const FaultSpec& y) { return x.at_us < y.at_us; });
+    }
+
+    // -- runtime reconfigurations -------------------------------------------
+    // Drawn strictly after the fault plan and gated by the flag, so every
+    // pre-existing seed generates a byte-identical scenario with the flag
+    // off.  Total-order services only: the oracle's causal-group exemptions
+    // come from the static layout, so the fuzzer never switches a group
+    // into or out of causal mode.
+    if (limits_.allow_reconfigs && limits_.max_reconfigs > 0) {
+        std::vector<int> candidates;
+        for (std::size_t j = 0; j < s.services.size(); ++j) {
+            if (s.services[j].order != OrderMode::kCausal) {
+                candidates.push_back(static_cast<int>(j));
+            }
+        }
+        if (!candidates.empty()) {
+            const int reconfigs = static_cast<int>(
+                rng.next_in(0, static_cast<std::uint64_t>(limits_.max_reconfigs)));
+            for (int r = 0; r < reconfigs; ++r) {
+                FaultSpec fault;
+                fault.kind = FaultSpec::Kind::kReconfigure;
+                fault.at_us = rng.next_in(0, s.run_us);
+                fault.a = candidates[rng.next_in(0, candidates.size() - 1)];
+                fault.b = rng.next_bool(0.5) ? 0 : 1;
+                s.faults.push_back(fault);
+            }
+            std::stable_sort(s.faults.begin(), s.faults.end(), [](const FaultSpec& x,
+                                                                  const FaultSpec& y) {
+                return x.at_us < y.at_us;
+            });
+        }
     }
 
     s.settle_us = 2'000'000;

@@ -78,6 +78,9 @@ struct PeerSpec {
 ///   kRestart       : a = service index, b = replica index — restart the
 ///                    (crashed) replica; its node comes back with a bumped
 ///                    incarnation and the recovery pipeline rejoins it
+///   kReconfigure   : a = service index, b = target order (0 = asymmetric,
+///                    1 = symmetric) — a live replica proposes a runtime
+///                    reconfiguration of its server group mid-run
 struct FaultSpec {
     enum class Kind : std::uint8_t {
         kCrashServer = 0,
@@ -86,6 +89,7 @@ struct FaultSpec {
         kHeal = 3,
         kLossBurst = 4,
         kRestart = 5,
+        kReconfigure = 6,
     };
     Kind kind{Kind::kCrashServer};
     std::uint64_t at_us{0};  // relative to workload start
@@ -136,6 +140,11 @@ struct ScenarioLimits {
     /// (crash -> restart inside the survivable envelope); the runner then
     /// also checks the resync-liveness property for restarted replicas.
     bool allow_restarts{true};
+    /// Sprinkle kReconfigure faults (mid-run total-order protocol switches
+    /// on non-causal server groups).  Off by default so pre-existing seeds
+    /// keep generating byte-identical scenarios; campaigns opt in.
+    bool allow_reconfigs{false};
+    int max_reconfigs{3};
 };
 
 /// Samples one full Scenario from a seed.  Pure function of

@@ -89,4 +89,10 @@ void Directory::update_contact_hint(GroupId id, std::vector<EndpointId> members)
     groups_by_name_[it->second].contact_hint = std::move(members);
 }
 
+void Directory::update_group_config(GroupId id, const GroupConfig& config) {
+    const auto it = names_by_id_.find(id);
+    if (it == names_by_id_.end()) return;
+    groups_by_name_[it->second].config = config;
+}
+
 }  // namespace newtop

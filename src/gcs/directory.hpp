@@ -85,6 +85,15 @@ public:
     /// Called by members when they install a view, to refresh the hint.
     void update_contact_hint(GroupId id, std::vector<EndpointId> members);
 
+    /// Called by members when a view install applies a reconfiguration, so
+    /// late joiners, recovering replicas and rebinding clients resolve the
+    /// group's *current* policies instead of its creation-time ones.  Like
+    /// the contact hint this copy is advisory — the authoritative config
+    /// always travels in the InstallMsg — but keeping it fresh is what lets
+    /// bootstrap paths (ensure_skeleton, client cs-group construction) start
+    /// from the right place.
+    void update_group_config(GroupId id, const GroupConfig& config);
+
     /// Generic named-object registry (a tiny naming service) used by
     /// subsystems that need to find each other's auxiliary objects, e.g.
     /// replication state-transfer servants.

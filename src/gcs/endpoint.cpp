@@ -98,6 +98,12 @@ GroupCommEndpoint::GroupCommEndpoint(Orb& orb, Directory& directory)
             }
             return total;
         }));
+    gauges_.push_back(
+        gauge_registry_->register_gauge(obs::metric::kGcsConfigEpoch, [this](SimTime) {
+            std::uint64_t total = 0;
+            for (const auto& [id, g] : groups_) total += g.config_epoch;
+            return total;
+        }));
 }
 
 GroupCommEndpoint::~GroupCommEndpoint() {
@@ -134,6 +140,11 @@ const View* GroupCommEndpoint::current_view(GroupId group) const {
 const GroupConfig* GroupCommEndpoint::group_config(GroupId group) const {
     const Group* g = find_group(group);
     return g == nullptr ? nullptr : &g->config;
+}
+
+ConfigEpoch GroupCommEndpoint::config_epoch(GroupId group) const {
+    const Group* g = find_group(group);
+    return g == nullptr ? 0 : g->config_epoch;
 }
 
 GroupCommEndpoint::GroupStats GroupCommEndpoint::group_stats(GroupId group) const {
@@ -285,9 +296,44 @@ void GroupCommEndpoint::multicast(GroupId group, Bytes payload, obs::SpanContext
     submit_send(*g, std::move(payload), span);
 }
 
+void GroupCommEndpoint::reconfigure(GroupId group, const GroupConfig& next) {
+    Group* g = find_group(group);
+    NEWTOP_EXPECTS(g != nullptr, "unknown group");
+    NEWTOP_EXPECTS(g->installed || g->state == Group::State::kViewChange,
+                   "group not yet joined");
+    ConfigChangeMsg change;
+    change.group = group;
+    change.next = next;
+    // Proposer-unique: endpoint id in the high half, local counter in the
+    // low one, so an install can name exactly which proposal it honoured.
+    change.nonce = (static_cast<std::uint64_t>(id_.value()) << 32) | ++reconfig_seq_;
+    Encoder e;
+    encode(e, change);
+    Bytes payload = std::move(e).take();
+    // Synthetic root span, as for bare multicasts: the proposal is ordinary
+    // ordered traffic as far as the trace is concerned.
+    obs::SpanContext span;
+    span.trace = obs::multicast_trace_id(id_.value(), ++multicast_seq_);
+    span.span = obs::span_id(span.trace, id_.value(), obs::SpanRole::kSender);
+    if (g->state == Group::State::kViewChange || !g->installed) {
+        g->blocked_sends.push_back(PendingSend{std::move(payload), span, DataKind::kConfig});
+        return;
+    }
+    submit_send(*g, std::move(payload), span, DataKind::kConfig);
+}
+
 // -- data path ------------------------------------------------------------------
 
-void GroupCommEndpoint::submit_send(Group& g, Bytes payload, obs::SpanContext span) {
+void GroupCommEndpoint::submit_send(Group& g, Bytes payload, obs::SpanContext span,
+                                    DataKind kind) {
+    if (kind == DataKind::kConfig) {
+        // Config proposals bypass both coalescing (they must not merge into
+        // an application batch) and the credit window (a proposal submitted
+        // at a full window would queue behind traffic whose delivery the
+        // group may be throttling — the switch must not wait on it).
+        send_data(g, DataKind::kConfig, std::move(payload), span);
+        return;
+    }
     const std::size_t window = g.config.order_window;
     // FIFO: once anything is queued, later sends queue behind it even if a
     // credit is momentarily free.
@@ -368,6 +414,13 @@ void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload, obs::S
             metrics().add(obs::metric::kGcsOrderSent);
             metrics().trace(obs::TraceKind::kOrderOnWire, now, id_.value(), g.id.value(),
                             msg.seq);
+        } else if (kind == DataKind::kConfig) {
+            // Rides the data stream (seqno, retransmission, ordering) but
+            // carries no application payload, so no shipped/delivered
+            // payload phases for the profiler to reconcile.
+            metrics().add(obs::metric::kGcsDataSent);
+            metrics().trace(obs::TraceKind::kDataOnWire, now, id_.value(), g.id.value(),
+                            msg.seq);
         } else {
             metrics().add(obs::metric::kGcsDataSent);
             metrics().trace(obs::TraceKind::kDataOnWire, now, id_.value(), g.id.value(),
@@ -385,7 +438,7 @@ void GroupCommEndpoint::send_data(Group& g, DataKind kind, Bytes payload, obs::S
             }
         }
     }
-    if (kind == DataKind::kApplication) {
+    if (orders_like_app(kind)) {
         msg.knowledge = knowledge_snapshot(g.id);
         if (g.config.order == OrderMode::kCausal) {
             msg.causal_vc = g.causal.delivered_vector();
@@ -642,6 +695,13 @@ bool GroupCommEndpoint::barrier_satisfied(const DataMsg& msg) const {
 }
 
 void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
+    if (msg.kind == DataKind::kConfig) {
+        // The agreed delivery slot of a reconfiguration proposal: it never
+        // reaches the application, but it consumed a stream position, so it
+        // goes through the same ordered-delivery accounting.
+        apply_config_delivery(g, msg);
+        return;
+    }
     NEWTOP_ENSURES(msg.kind == DataKind::kApplication, "only application data is delivered");
     const std::uint64_t payloads = 1 + msg.batch.size();
     g.delivered_refs.insert(MsgRef{msg.sender, msg.seq});
@@ -694,6 +754,52 @@ void GroupCommEndpoint::deliver_to_app(Group& g, DataMsg msg) {
         if (g.inflight_sends > 0) --g.inflight_sends;
         drain_coalesced(g);
     }
+}
+
+void GroupCommEndpoint::apply_config_delivery(Group& g, const DataMsg& msg) {
+    // Stream accounting first: the proposal occupied a seqno and an agreed
+    // order slot, so it must count as delivered for the virtual-synchrony
+    // cut (delivered_refs) and appear in the oracle's total-order event
+    // stream (kDataDelivered) — the switch point is itself an ordered event
+    // every member sees in the same position.
+    g.delivered_refs.insert(MsgRef{msg.sender, msg.seq});
+    ++g.delivered_count;
+    const SimTime now = orb_->scheduler().now();
+    const std::uint64_t ref = obs::pack_delivered_ref(msg.epoch, msg.sender.value(), msg.seq);
+    metrics().trace(obs::TraceKind::kDataDelivered, now, id_.value(), msg.span, 0, g.id.value(),
+                    ref);
+    if (msg.sender != id_) {
+        auto& stream = g.inbound[msg.sender];
+        stream.delivered_app_count = std::max(stream.delivered_app_count, msg.seq + 1);
+    }
+    note_knowledge(g.id, msg.epoch, msg.sender, msg.seq + 1);
+    merge_knowledge(msg.knowledge);
+
+    ConfigChangeMsg change;
+    try {
+        Decoder d(msg.payload);
+        decode(d, change);
+        if (!d.exhausted()) throw DecodeError("trailing bytes in config payload");
+    } catch (const DecodeError& err) {
+        NEWTOP_WARN("endpoint " << id_ << ": bad config payload: " << err.what());
+        return;
+    }
+
+    // Last-wins across concurrent proposals: total order delivers them in
+    // the same sequence everywhere, so every member's pending value agrees.
+    g.pending_config = Group::PendingConfig{change.next, change.nonce, now};
+    metrics().trace(obs::TraceKind::kConfigProposed, now, id_.value(), msg.span, 0, g.id.value(),
+                    obs::pack_config_detail(g.config_epoch + 1, g.view.epoch));
+
+    // Arm the flush-delimited switch.  Deferred one event step: this runs
+    // deep inside the delivery path (possibly inside a cut drain), and
+    // starting a round here would re-enter the view-change machinery.
+    const GroupId id = g.id;
+    orb_->scheduler().schedule_after(0, [this, id] {
+        if (process_crashed()) return;
+        Group* gp = find_group(id);
+        if (gp != nullptr) maybe_start_view_change(*gp);
+    });
 }
 
 // -- causal knowledge ------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -93,6 +94,22 @@ public:
     /// trace so bare GCS traffic is profilable too.
     void multicast(GroupId group, Bytes payload, obs::SpanContext span = {});
 
+    /// Propose a runtime configuration change for the group (must be a
+    /// member).  The proposal rides the group's own ordered stream as a
+    /// DataKind::kConfig message; its agreed delivery arms a
+    /// flush-delimited view change whose install applies `next` at every
+    /// member simultaneously.  View-synchronous: everything ordered before
+    /// the cut is delivered under the old config (old OrderMode, old
+    /// policies), everything after runs the new one, and in-flight sends —
+    /// including coalesced batches and credit-blocked payloads — survive
+    /// the switch.  Asynchronous; watch the view handler or config_epoch()
+    /// for completion.
+    void reconfigure(GroupId group, const GroupConfig& next);
+
+    /// Monotonic count of configurations this member has installed for the
+    /// group (0 = still on the creation-time config).
+    [[nodiscard]] ConfigEpoch config_epoch(GroupId group) const;
+
     [[nodiscard]] bool knows_group(GroupId group) const { return groups_.contains(group); }
     [[nodiscard]] bool is_member(GroupId group) const;
 
@@ -120,9 +137,13 @@ public:
 private:
     /// A payload waiting for a send credit (coalesce queue) or for a view
     /// change to finish (blocked_sends), with the span it keeps carrying.
+    /// `kind` is kApplication for ordinary multicasts and kConfig for a
+    /// parked reconfiguration proposal (config sends bypass coalescing but
+    /// still block across a view change).
     struct PendingSend {
         Bytes payload;
         obs::SpanContext span;
+        DataKind kind{DataKind::kApplication};
     };
 
     struct InboundStream {
@@ -144,6 +165,22 @@ private:
         bool installed{false};
         SimTime view_installed_at{0};
         enum class State : std::uint8_t { kNormal, kViewChange } state{State::kNormal};
+
+        /// How many reconfigurations this member has installed (0 = the
+        /// creation-time config).  Advances only at view installs, never at
+        /// proposal delivery — the install *is* the switch point.
+        ConfigEpoch config_epoch{0};
+        /// A totally-ordered ConfigChangeMsg delivered but not yet honoured
+        /// by a view install.  Virtual synchrony makes this agree across
+        /// surviving members: all of them delivered the same proposals in
+        /// the same order, so all hold the same pending value (last wins)
+        /// and the coordinator's copy speaks for everyone.
+        struct PendingConfig {
+            GroupConfig next;
+            std::uint64_t nonce{0};
+            SimTime delivered_at{0};  // for the flush-stall histogram
+        };
+        std::optional<PendingConfig> pending_config;
 
         // send side
         Seqno next_send_seq{0};
@@ -238,7 +275,8 @@ private:
     Group& ensure_skeleton(GroupId id);
 
     // -- data path (endpoint.cpp) -----------------------------------------------
-    void submit_send(Group& g, Bytes payload, obs::SpanContext span);
+    void submit_send(Group& g, Bytes payload, obs::SpanContext span,
+                     DataKind kind = DataKind::kApplication);
     void drain_coalesced(Group& g);
     void park_coalesced(Group& g);
     void send_data(Group& g, DataKind kind, Bytes payload, obs::SpanContext span = {},
@@ -256,6 +294,10 @@ private:
     void try_release_all();
     [[nodiscard]] bool barrier_satisfied(const DataMsg& msg) const;
     void deliver_to_app(Group& g, DataMsg msg);
+    /// Agreed delivery of a DataKind::kConfig message: decode the proposal,
+    /// arm pending_config (last-wins across the totally-ordered stream) and
+    /// trigger the flush-delimited view change that will honour it.
+    void apply_config_delivery(Group& g, const DataMsg& msg);
     void note_knowledge(GroupId group, ViewEpoch epoch, EndpointId sender, Seqno count);
     void merge_knowledge(const std::vector<KnowledgeEntry>& entries);
     [[nodiscard]] std::vector<KnowledgeEntry> knowledge_snapshot(GroupId excluding) const;
@@ -294,6 +336,13 @@ private:
     void deliver_cut(Group& g, const InstallMsg& msg);
     void install_view(Group& g, const InstallMsg& msg);
     void resubmit_undelivered(Group& g, const std::set<MsgRef>& delivered_in_cut);
+    /// Adaptive ordering policy: after an install, the leader of a group
+    /// with adaptive_asym_threshold > 0 proposes a switch to the sequencer
+    /// protocol when membership reaches the threshold (and back to the
+    /// symmetric protocol below it).  No-op for causal groups, non-leaders,
+    /// or when a proposal is already pending.
+    void maybe_adapt_order(Group& g);
+    void on_adapt_order(GroupId id);
     void on_vc_timeout(GroupId id);
     void on_join_retry(const std::string& name);
 
@@ -304,6 +353,10 @@ private:
     Lamport clock_{0};
     /// Counts bare multicasts (no caller span) for synthetic trace ids.
     std::uint64_t multicast_seq_{0};
+    /// Per-proposer reconfiguration counter; combined with the endpoint id
+    /// it makes every ConfigChangeMsg nonce unique group-wide, so members
+    /// can tell exactly which pending proposal an install honoured.
+    std::uint64_t reconfig_seq_{0};
     /// Registry the gauges below registered with, cached so the destructor
     /// can unregister without reaching through the orb (the registry, owned
     /// by the network, outlives every endpoint generation).

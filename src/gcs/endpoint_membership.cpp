@@ -66,6 +66,12 @@ void GroupCommEndpoint::install_first_view(Group& g) {
     self_install.group = g.id;
     self_install.view = View{g.id, 1, {id_}};
     self_install.coordinator = id_;
+    // The install always carries the authoritative config.  For a refound
+    // this is the *current* config from the directory (kept fresh by
+    // update_group_config), so a lineage restarted after a reconfiguration
+    // resumes under the reconfigured policies, not the creation-time ones.
+    self_install.config = g.config;
+    self_install.config_epoch = g.config_epoch;
     handle_install(self_install);
 }
 
@@ -120,7 +126,8 @@ void GroupCommEndpoint::handle_join(const JoinReq& msg) {
     if (g->view.contains(msg.joiner)) {
         // The joiner is already in — it must have missed the install; any
         // member may re-send it (no cut: the joiner delivers nothing old).
-        send_wire(msg.joiner, InstallMsg{g->id, g->view, id_, {}, {}});
+        send_wire(msg.joiner,
+                  InstallMsg{g->id, g->view, id_, {}, {}, g->config, g->config_epoch, 0});
         return;
     }
     if (g->pending_joiners.insert(msg.joiner).second) {
@@ -169,7 +176,7 @@ void GroupCommEndpoint::handle_suspect(const SuspectMsg& msg) {
 void GroupCommEndpoint::maybe_start_view_change(Group& g) {
     if (!g.installed || !g.view.contains(id_)) return;
     const bool need = !g.suspects.empty() || !g.pending_joiners.empty() ||
-                      !g.pending_leavers.empty();
+                      !g.pending_leavers.empty() || g.pending_config.has_value();
     if (!need) return;
 
     // Deterministic coordinator: lowest-ranked member we do not suspect.
@@ -335,6 +342,20 @@ void GroupCommEndpoint::finish_if_flushes_complete(Group& g) {
     install.group = g.id;
     install.view = View{g.id, g.vc_epoch, g.vc_members};
     install.coordinator = id_;
+    // Configuration decision for the new view.  The coordinator's pending
+    // proposal speaks for every survivor: proposals travel the totally-
+    // ordered stream, so all members that flushed hold the same last-wins
+    // pending value.  A proposal that is only *in the cut* (not yet
+    // delivered here) is deliberately not honoured now — its delivery during
+    // deliver_cut re-arms pending_config and a follow-up round applies it.
+    if (g.pending_config.has_value()) {
+        install.config = g.pending_config->next;
+        install.config_epoch = g.config_epoch + 1;
+        install.applied_nonce = g.pending_config->nonce;
+    } else {
+        install.config = g.config;
+        install.config_epoch = g.config_epoch;
+    }
     install.cut.reserve(g.vc_cut.size());
     for (const auto& [ref, data] : g.vc_cut) install.cut.push_back(data);
     install.orders.assign(g.vc_orders.begin(), g.vc_orders.end());
@@ -355,7 +376,7 @@ void GroupCommEndpoint::deliver_cut(Group& g, const InstallMsg& msg) {
     std::map<MsgRef, DataMsg> pending;
     auto absorb = [&](std::vector<DataMsg> batch) {
         for (auto& data : batch) {
-            if (data.kind != DataKind::kApplication) continue;
+            if (!orders_like_app(data.kind)) continue;
             if (data.epoch != g.view.epoch) continue;
             const MsgRef ref{data.sender, data.seq};
             if (g.delivered_refs.contains(ref)) continue;
@@ -420,6 +441,36 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     for (const EndpointId member : g.view.members) digest = obs::fnv1a64(digest, member.value());
     metrics().trace(obs::TraceKind::kViewInstalled, g.view_installed_at, id_.value(),
                     group_id.value(), obs::pack_view_detail(g.view.epoch, digest));
+
+    // The configuration switch point.  deliver_cut has already drained
+    // every pre-cut message under the old config (old OrderMode, old
+    // policies); from here on the group runs the new one.  The engine
+    // resets below start the new mode from clean state, which is exactly
+    // what a kTotalSymmetric <-> kTotalAsymmetric switch needs: sequencer
+    // assignments never straddle the cut.
+    if (msg.config_epoch != g.config_epoch) {
+        g.config = msg.config;
+        g.config_epoch = msg.config_epoch;
+        directory_->update_group_config(group_id, g.config);
+        if (was_member) {
+            metrics().add(obs::metric::kGcsReconfigs);
+            if (g.pending_config.has_value() &&
+                g.pending_config->nonce == msg.applied_nonce) {
+                metrics().observe(obs::metric::kGcsReconfigStallUs,
+                                  g.view_installed_at - g.pending_config->delivered_at);
+            }
+            metrics().trace(obs::TraceKind::kConfigSwitched, g.view_installed_at, id_.value(),
+                            group_id.value(),
+                            obs::pack_config_detail(g.config_epoch, g.view.epoch));
+        }
+    }
+    // Pending proposal honoured by this install?  Then it is done; anything
+    // else (a proposal delivered in the cut just now, or a newer last-wins
+    // value) stays armed and triggers a follow-up round from handle_install.
+    if (g.pending_config.has_value() && g.pending_config->nonce == msg.applied_nonce) {
+        g.pending_config.reset();
+    }
+
     g.state = Group::State::kNormal;
     g.leading = false;
     g.next_send_seq = 0;
@@ -483,12 +534,14 @@ void GroupCommEndpoint::resubmit_undelivered(Group& g, const std::set<MsgRef>& d
     // the new view (the paper's client-retry discussion, §4.1).
     std::vector<PendingSend> payloads;
     for (const auto& [ref, data] : g.unstable) {
-        if (data.sender != id_ || data.kind != DataKind::kApplication) continue;
+        if (data.sender != id_ || !orders_like_app(data.kind)) continue;
         if (delivered.contains(ref)) continue;
         // A coalesced message resubmits every payload it carried, in their
         // original submission order.  Spans stay attached: a resubmitted
-        // payload still belongs to its original invocation.
-        payloads.push_back(PendingSend{data.payload, data.span});
+        // payload still belongs to its original invocation.  An undelivered
+        // config proposal resubmits too (kind preserved) — reconfiguration
+        // requests are never silently lost to a view change.
+        payloads.push_back(PendingSend{data.payload, data.span, data.kind});
         for (std::size_t i = 0; i < data.batch.size(); ++i) {
             payloads.push_back(PendingSend{
                 data.batch[i],
@@ -518,15 +571,52 @@ void GroupCommEndpoint::handle_install(const InstallMsg& msg) {
     std::vector<PendingSend> sends = std::move(gp->blocked_sends);
     gp->blocked_sends.clear();
     for (PendingSend& pending : sends) {
-        submit_send(*gp, std::move(pending.payload), pending.span);
+        submit_send(*gp, std::move(pending.payload), pending.span, pending.kind);
     }
 
     maybe_start_view_change(*gp);
     // A follow-up round may have run to completion synchronously and erased
     // the group; re-resolve before touching it again.
     gp = find_group(msg.group);
-    if (gp != nullptr) kick_liveness(*gp);
+    if (gp != nullptr) {
+        maybe_adapt_order(*gp);
+        kick_liveness(*gp);
+    }
     try_release_all();
+}
+
+// -- adaptive ordering policy ------------------------------------------------------
+
+void GroupCommEndpoint::maybe_adapt_order(Group& g) {
+    if (g.config.adaptive_asym_threshold == 0) return;
+    if (g.config.order == OrderMode::kCausal) return;
+    if (!g.installed || g.view.leader() != id_) return;
+    if (g.pending_config.has_value()) return;
+    const OrderMode desired = g.view.members.size() >= g.config.adaptive_asym_threshold
+                                  ? OrderMode::kTotalAsymmetric
+                                  : OrderMode::kTotalSymmetric;
+    if (desired == g.config.order) return;
+    // Defer one event step: we are inside the install path, and reconfigure
+    // sends through the data machinery the install is still settling.
+    const GroupId id = g.id;
+    orb_->scheduler().schedule_after(0, [this, id] { on_adapt_order(id); });
+}
+
+void GroupCommEndpoint::on_adapt_order(GroupId id) {
+    if (process_crashed()) return;
+    Group* g = find_group(id);
+    // Re-validate everything: membership, leadership or the config may all
+    // have moved since the install that scheduled us.
+    if (g == nullptr || !g->installed || g->state != Group::State::kNormal) return;
+    if (g->config.adaptive_asym_threshold == 0 || g->config.order == OrderMode::kCausal) return;
+    if (g->view.leader() != id_ || g->pending_config.has_value()) return;
+    const OrderMode desired = g->view.members.size() >= g->config.adaptive_asym_threshold
+                                  ? OrderMode::kTotalAsymmetric
+                                  : OrderMode::kTotalSymmetric;
+    if (desired == g->config.order) return;
+    GroupConfig next = g->config;
+    next.order = desired;
+    reconfigure(id, next);
 }
 
 void GroupCommEndpoint::on_vc_timeout(GroupId id) {

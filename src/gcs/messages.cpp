@@ -74,7 +74,7 @@ void decode(Decoder& d, DataMsg& v) {
     decode(d, v.seq);
     decode(d, v.ts);
     const std::uint8_t kind = d.get_u8();
-    if (kind > static_cast<std::uint8_t>(DataKind::kOrder)) throw DecodeError("bad DataKind");
+    if (kind > static_cast<std::uint8_t>(DataKind::kConfig)) throw DecodeError("bad DataKind");
     v.kind = static_cast<DataKind>(kind);
     decode(d, v.knowledge);
     decode(d, v.payload);
@@ -84,6 +84,50 @@ void decode(Decoder& d, DataMsg& v) {
     v.sent_at = d.get_i64();
     decode(d, v.span);
     decode(d, v.batch_spans);
+}
+
+void encode(Encoder& e, const GroupConfig& v) {
+    e.put_u8(static_cast<std::uint8_t>(v.order));
+    e.put_u8(static_cast<std::uint8_t>(v.liveness));
+    e.put_i64(v.time_silence);
+    e.put_i64(v.ack_delay);
+    e.put_i64(v.suspicion_timeout);
+    e.put_i64(v.view_change_timeout);
+    e.put_i64(v.stability_period);
+    e.put_u64(v.order_window);
+    e.put_u64(v.order_max_batch);
+    e.put_u64(v.adaptive_asym_threshold);
+}
+void decode(Decoder& d, GroupConfig& v) {
+    const std::uint8_t order = d.get_u8();
+    if (order > static_cast<std::uint8_t>(OrderMode::kCausal)) {
+        throw DecodeError("bad OrderMode");
+    }
+    v.order = static_cast<OrderMode>(order);
+    const std::uint8_t liveness = d.get_u8();
+    if (liveness > static_cast<std::uint8_t>(LivenessMode::kEventDriven)) {
+        throw DecodeError("bad LivenessMode");
+    }
+    v.liveness = static_cast<LivenessMode>(liveness);
+    v.time_silence = d.get_i64();
+    v.ack_delay = d.get_i64();
+    v.suspicion_timeout = d.get_i64();
+    v.view_change_timeout = d.get_i64();
+    v.stability_period = d.get_i64();
+    v.order_window = static_cast<std::size_t>(d.get_u64());
+    v.order_max_batch = static_cast<std::size_t>(d.get_u64());
+    v.adaptive_asym_threshold = static_cast<std::size_t>(d.get_u64());
+}
+
+void encode(Encoder& e, const ConfigChangeMsg& v) {
+    encode(e, v.group);
+    encode(e, v.next);
+    e.put_u64(v.nonce);
+}
+void decode(Decoder& d, ConfigChangeMsg& v) {
+    decode(d, v.group);
+    decode(d, v.next);
+    v.nonce = d.get_u64();
 }
 
 namespace {
@@ -183,6 +227,9 @@ void encode_body(Encoder& e, const InstallMsg& v) {
     encode(e, v.coordinator);
     encode(e, v.cut);
     encode(e, v.orders);
+    encode(e, v.config);
+    encode(e, v.config_epoch);
+    e.put_u64(v.applied_nonce);
 }
 void decode_body(Decoder& d, InstallMsg& v) {
     decode(d, v.group);
@@ -190,6 +237,9 @@ void decode_body(Decoder& d, InstallMsg& v) {
     decode(d, v.coordinator);
     decode(d, v.cut);
     decode(d, v.orders);
+    decode(d, v.config);
+    decode(d, v.config_epoch);
+    v.applied_nonce = d.get_u64();
 }
 
 template <typename T>

@@ -51,7 +51,21 @@ enum class DataKind : std::uint8_t {
     /// as payload).  Rides the sequencer's reliable stream so order records
     /// inherit FIFO delivery and NACK-based recovery.
     kOrder = 2,
+    /// A reconfiguration proposal (an encoded ConfigChangeMsg as payload).
+    /// Ordered exactly like application data — it consumes a stream seqno,
+    /// is retransmitted, held back and cut-delivered — so every member
+    /// agrees on its position in the total order; its delivery arms the
+    /// flush-delimited configuration view change.
+    kConfig = 3,
 };
+
+/// Returns true for kinds the ordering engines hold back and deliver in
+/// the agreed total order (application payloads and in-stream config
+/// proposals); false for nulls and sequencer order records, which are
+/// consumed by the protocol itself at ingest.
+[[nodiscard]] constexpr bool orders_like_app(DataKind kind) {
+    return kind == DataKind::kApplication || kind == DataKind::kConfig;
+}
 
 /// An application multicast or a time-silence null.
 struct DataMsg {
@@ -91,6 +105,25 @@ struct DataMsg {
     /// Span of each coalesced payload in `batch` (same length, or empty
     /// when no batch entry carries a span).
     std::vector<obs::SpanContext> batch_spans;
+};
+
+/// A runtime reconfiguration proposal, shipped as the payload of a
+/// DataKind::kConfig stream message so it is totally ordered against the
+/// application traffic it delimits.  Delivery does not switch anything by
+/// itself: it records the proposal and triggers a flush-delimited view
+/// change whose InstallMsg carries the agreed config — the switch point is
+/// the view cut, never the proposal's own delivery.
+struct ConfigChangeMsg {
+    GroupId group;
+    /// The complete requested configuration (absolute, not a delta).
+    GroupConfig next;
+    /// Proposer-unique token; the InstallMsg that applies this proposal
+    /// echoes it so members can retire exactly the pending proposal that
+    /// was honoured (a proposal delivered inside the cut of an unrelated
+    /// view change stays pending and re-arms a follow-up round).
+    std::uint64_t nonce{0};
+
+    friend bool operator==(const ConfigChangeMsg&, const ConfigChangeMsg&) = default;
 };
 
 /// Retransmission request: "resend your messages with these seqnos".
@@ -164,6 +197,17 @@ struct InstallMsg {
     EndpointId coordinator;
     std::vector<DataMsg> cut;
     std::vector<std::pair<std::uint64_t, MsgRef>> orders;
+    /// The configuration every member of `view` runs from the instant the
+    /// view is installed (pre-cut traffic is still delivered under the old
+    /// one).  Carrying the full config in the install keeps joiners and
+    /// recovering members correct even when their directory copy is stale.
+    GroupConfig config;
+    /// Monotonic configuration number matching `config`; bumps only when a
+    /// pending ConfigChangeMsg is honoured by this install.
+    ConfigEpoch config_epoch{0};
+    /// Nonce of the ConfigChangeMsg this install applies (0 when the view
+    /// change carried the old config forward unchanged).
+    std::uint64_t applied_nonce{0};
 };
 
 using GcsMessage = std::variant<DataMsg, NackMsg, OrderMsg, JoinReq, LeaveReq, SuspectMsg,
@@ -180,5 +224,9 @@ void encode(Encoder& e, const KnowledgeEntry& v);
 void decode(Decoder& d, KnowledgeEntry& v);
 void encode(Encoder& e, const DataMsg& v);
 void decode(Decoder& d, DataMsg& v);
+void encode(Encoder& e, const GroupConfig& v);
+void decode(Decoder& d, GroupConfig& v);
+void encode(Encoder& e, const ConfigChangeMsg& v);
+void decode(Decoder& d, ConfigChangeMsg& v);
 
 }  // namespace newtop

@@ -18,7 +18,7 @@ void SymmetricOrder::on_data(const DataMsg& msg) {
     auto it = latest_ts_.find(msg.sender);
     NEWTOP_EXPECTS(it != latest_ts_.end(), "data from non-member fed to symmetric order");
     it->second = std::max(it->second, msg.ts);
-    if (msg.kind == DataKind::kApplication) {
+    if (orders_like_app(msg.kind)) {
         holdback_.emplace(Key{msg.ts, msg.sender}, msg);
     }
 }
@@ -76,7 +76,7 @@ void SequencerOrder::reset(std::vector<EndpointId> members, EndpointId self) {
 }
 
 void SequencerOrder::on_data(const DataMsg& msg) {
-    if (msg.kind != DataKind::kApplication) return;  // nulls bypass ordering
+    if (!orders_like_app(msg.kind)) return;  // nulls bypass ordering
     const MsgRef ref{msg.sender, msg.seq};
     // Dedupe on the ref, covering refs already assigned, already delivered
     // (erased from data_store_/assignment_), and still pending.  Without
@@ -159,7 +159,7 @@ void CausalOrder::reset(std::vector<EndpointId> members) {
 }
 
 void CausalOrder::on_data(const DataMsg& msg) {
-    if (msg.kind != DataKind::kApplication) return;
+    if (!orders_like_app(msg.kind)) return;
     pending_.push_back(msg);
 }
 

@@ -54,7 +54,16 @@ enum class LivenessMode : std::uint8_t {
     kEventDriven = 1,
 };
 
-/// Per-group configuration fixed at creation time.
+/// Monotonic configuration number within a group: each view-synchronous
+/// reconfiguration (a ConfigChangeMsg agreed through the group's own total
+/// order and applied at a flush-delimited view install) increments it.
+using ConfigEpoch = std::uint64_t;
+
+/// Per-group configuration.  Set at creation time and changed at runtime
+/// only through the view-synchronous reconfiguration protocol
+/// (GroupCommEndpoint::reconfigure): every member switches at the same
+/// flush-delimited view cut, so no two members ever run one message stream
+/// under different policies.
 struct GroupConfig {
     OrderMode order{OrderMode::kTotalSymmetric};
     LivenessMode liveness{LivenessMode::kEventDriven};
@@ -88,6 +97,14 @@ struct GroupConfig {
     /// Maximum application payloads coalesced into a single DataMsg once
     /// the window is full.
     std::size_t order_max_batch{64};
+    /// Adaptive-policy hook: when non-zero, the view leader proposes a
+    /// reconfiguration to the asymmetric sequencer once the installed view
+    /// reaches this many members, and back to the symmetric protocol below
+    /// it (the OptSCORE-style adaptation; §2's flexibility made view-time).
+    /// 0 disables the hook.  Ignored for kCausal groups.
+    std::size_t adaptive_asym_threshold{0};
+
+    friend bool operator==(const GroupConfig&, const GroupConfig&) = default;
 };
 
 }  // namespace newtop

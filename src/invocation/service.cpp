@@ -80,10 +80,17 @@ void InvocationService::serve(const std::string& service, const GroupConfig& con
         std::make_shared<DirectServant>(served.servant), service + ".direct");
     directory_->register_object(direct_object_name(service, endpoint_->id()), direct);
 
-    // First server creates the group; later ones join.
-    if (directory_->find_group(service) == nullptr) {
+    // First server creates the group; later ones join.  A joiner adopts the
+    // group's *current* config from the directory (kept fresh by runtime
+    // reconfigurations), not its caller's creation-time copy — a replica
+    // recovering after the group reconfigured must rejoin under the
+    // policies the group actually runs (the install it receives is the
+    // authority; this keeps the local record consistent with it).
+    const Directory::GroupInfo* existing = directory_->find_group(service);
+    if (existing == nullptr) {
         served.server_group = endpoint_->create_group(service, config);
     } else {
+        served.config = existing->config;
         served.server_group = endpoint_->join_group(service);
     }
 

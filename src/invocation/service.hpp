@@ -221,6 +221,12 @@ private:
     Binding* find_binding(BindingId id);
     const Binding* find_binding(BindingId id) const;
     Binding* binding_by_cs_group(GroupId g);
+    /// Configuration for a binding's client/server group: the server
+    /// group's *current* directory config (kept fresh by runtime
+    /// reconfigurations) with the binding's requested c/s ordering on top.
+    /// One lookup path for every c/s group creation site, so a stale local
+    /// GroupConfig can never leak into a new binding.
+    [[nodiscard]] GroupConfig cs_group_config(const Binding& b) const;
     void start_open_bind(Binding& b);
     void start_closed_bind(Binding& b);
     void invite_manager(Binding& b);

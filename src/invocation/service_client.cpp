@@ -89,6 +89,17 @@ BindingId InvocationService::bind(const std::string& service, const BindOptions&
     return id;
 }
 
+GroupConfig InvocationService::cs_group_config(const Binding& b) const {
+    const Directory::GroupInfo* info = directory_->find_group(b.service);
+    GroupConfig cfg = info == nullptr ? GroupConfig{} : info->config;
+    cfg.order = b.options.cs_order;
+    // The c/s group is a binding-lifetime side group, never reconfigured
+    // adaptively; only the server group's policies (timeouts, windows)
+    // carry over.
+    cfg.adaptive_asym_threshold = 0;
+    return cfg;
+}
+
 void InvocationService::start_closed_bind(Binding& b) {
     // Fig. 3(i): form a client/server group containing this client and
     // every member of the server group, and invite them all in.
@@ -96,9 +107,7 @@ void InvocationService::start_closed_bind(Binding& b) {
     ++b.attempt;
     const std::string cs_name = "cs:" + std::to_string(endpoint_->id().value()) + ":" +
                                 std::to_string(b.id) + ":" + std::to_string(b.attempt);
-    GroupConfig cfg;
-    cfg.order = b.options.cs_order;
-    b.cs_group = endpoint_->create_group(cs_name, cfg);
+    b.cs_group = endpoint_->create_group(cs_name, cs_group_config(b));
     bindings_by_group_[b.cs_group] = b.id;
 
     const Directory::GroupInfo* info = directory_->find_group(b.service);
@@ -169,9 +178,7 @@ BindingId InvocationService::bind_group(GroupId client_group, const std::string&
     const std::string gz_name =
         "g2g:" + std::to_string(client_group.value()) + ":" + service;
     if (directory_->find_group(gz_name) == nullptr) {
-        GroupConfig cfg;
-        cfg.order = options.cs_order;
-        b.cs_group = endpoint_->create_group(gz_name, cfg);
+        b.cs_group = endpoint_->create_group(gz_name, cs_group_config(b));
     } else {
         b.cs_group = endpoint_->join_group(gz_name);
     }
@@ -215,9 +222,7 @@ void InvocationService::start_open_bind(Binding& b) {
 
     const std::string cs_name = "cs:" + std::to_string(endpoint_->id().value()) + ":" +
                                 std::to_string(b.id) + ":" + std::to_string(b.attempt);
-    GroupConfig cfg;
-    cfg.order = b.options.cs_order;
-    b.cs_group = endpoint_->create_group(cs_name, cfg);
+    b.cs_group = endpoint_->create_group(cs_name, cs_group_config(b));
     bindings_by_group_[b.cs_group] = b.id;
     invite_manager(b);
 }

@@ -38,6 +38,15 @@ void PeerGroup::publish(Bytes payload) {
     endpoint_->multicast(group_, std::move(payload));
 }
 
+void PeerGroup::reconfigure(const GroupConfig& next) {
+    NEWTOP_EXPECTS(endpoint_ != nullptr, "empty peer group handle");
+    endpoint_->reconfigure(group_, next);
+}
+
+ConfigEpoch PeerGroup::config_epoch() const {
+    return endpoint_ == nullptr ? 0 : endpoint_->config_epoch(group_);
+}
+
 const View* PeerGroup::view() const {
     return endpoint_ == nullptr ? nullptr : endpoint_->current_view(group_);
 }

@@ -74,6 +74,15 @@ public:
     /// One-way multicast to all members (including this one).
     void publish(Bytes payload);
 
+    /// Propose a runtime configuration change (view-synchronous: applied at
+    /// an agreed view boundary at every member; see
+    /// GroupCommEndpoint::reconfigure).  Asynchronous — poll config_epoch().
+    void reconfigure(const GroupConfig& next);
+
+    /// Configurations installed since creation (see
+    /// GroupCommEndpoint::config_epoch).
+    [[nodiscard]] ConfigEpoch config_epoch() const;
+
     [[nodiscard]] GroupId id() const { return group_; }
     [[nodiscard]] const View* view() const;
     [[nodiscard]] bool joined() const;
@@ -121,6 +130,21 @@ public:
     /// Serve `service` (create or join its server group).
     void serve(const std::string& service, const GroupConfig& config,
                std::shared_ptr<GroupServant> servant);
+
+    /// Propose a view-synchronous runtime reconfiguration of a group this
+    /// NSO participates in (server group or peer group).  The proposal is
+    /// agreed through the group's own total order and applied at a flush-
+    /// delimited view boundary; no in-flight invocation is dropped,
+    /// duplicated or reordered by the switch.
+    void reconfigure(GroupId group, const GroupConfig& next) {
+        endpoint_.reconfigure(group, next);
+    }
+
+    /// Number of reconfigurations the local member has installed for
+    /// `group` (0 = still on the creation-time config).
+    [[nodiscard]] ConfigEpoch config_epoch(GroupId group) const {
+        return endpoint_.config_epoch(group);
+    }
 
     /// Bind to a service as a client.
     GroupProxy bind(const std::string& service, const BindOptions& options = {});

@@ -68,6 +68,15 @@ inline constexpr std::string_view kGcsCreditsInFlight = "gcs.credits_in_flight";
 /// Gauge: payloads queued waiting for a send credit, summed over endpoints
 /// (includes sends blocked by a view change).
 inline constexpr std::string_view kGcsBlockedSends = "gcs.blocked_sends";
+/// View installs that applied a new configuration (runtime reconfigurations
+/// honoured, counted once per member that switched).
+inline constexpr std::string_view kGcsReconfigs = "gcs.reconfigs";
+/// Gauge: highest config epoch installed, summed over endpoints (a stuck
+/// member shows up as the sum lagging members x epoch).
+inline constexpr std::string_view kGcsConfigEpoch = "gcs.config_epoch";
+/// Histogram: proposal delivery -> reconfigured view install, per member —
+/// the flush stall an in-flight reconfiguration imposes on the group.
+inline constexpr std::string_view kGcsReconfigStallUs = "gcs.reconfig_stall_us";
 
 // -- invocation ---------------------------------------------------------------
 inline constexpr std::string_view kInvRebinds = "invocation.rebinds";

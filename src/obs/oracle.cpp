@@ -27,6 +27,7 @@ const char* violation_kind_name(Violation::Kind kind) {
         case Violation::Kind::kDuplicateDelivery: return "duplicate_delivery";
         case Violation::Kind::kReplyThreshold: return "reply_threshold";
         case Violation::Kind::kTruncatedTrace: return "truncated_trace";
+        case Violation::Kind::kConfigTornDelivery: return "config_torn_delivery";
     }
     return "?";
 }
@@ -53,18 +54,23 @@ std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& even
     // attributed to a view by its *position* in the member's stream, never
     // by its epoch number alone.
     struct Entry {
-        bool install;         // true: view install, false: data delivery
-        std::uint64_t value;  // view detail or delivered ref
+        enum class Kind : std::uint8_t { kInstall, kDelivery, kConfigSwitch };
+        Kind kind;
+        std::uint64_t value;  // view detail, delivered ref, or config detail
     };
     std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Entry>> timeline;
     std::map<std::uint64_t, std::size_t> replies_by_trace;
     for (const TraceEvent& e : events) {
         switch (e.kind) {
             case TraceKind::kDataDelivered:
-                timeline[{e.subject, e.actor}].push_back({false, e.detail});
+                timeline[{e.subject, e.actor}].push_back({Entry::Kind::kDelivery, e.detail});
                 break;
             case TraceKind::kViewInstalled:
-                timeline[{e.subject, e.actor}].push_back({true, e.detail});
+                timeline[{e.subject, e.actor}].push_back({Entry::Kind::kInstall, e.detail});
+                break;
+            case TraceKind::kConfigSwitched:
+                timeline[{e.subject, e.actor}].push_back(
+                    {Entry::Kind::kConfigSwitch, e.detail});
                 break;
             case TraceKind::kReplyCollected:
                 ++replies_by_trace[e.trace];
@@ -112,15 +118,51 @@ std::vector<Violation> ProtocolOracle::check(const std::vector<TraceEvent>& even
         std::map<std::uint64_t, std::uint32_t> occurrence;
         std::set<std::uint64_t> in_lineage;  // refs delivered this lineage
         std::uint64_t last_epoch = 0;
+        // Config attribution: the view epoch at this lineage's latest
+        // configuration switch (0 = still on the creation-time config) and
+        // the config epoch it installed.  A lineage restart resets both —
+        // a refounded group legitimately starts counting configs afresh.
+        std::uint64_t switch_view_epoch = 0;
+        std::uint64_t last_config_epoch = 0;
         for (const Entry& entry : entries) {
-            if (entry.install) {
+            if (entry.kind == Entry::Kind::kInstall) {
                 const std::uint64_t epoch = view_detail_epoch(entry.value);
-                if (epoch <= last_epoch) in_lineage.clear();  // rejoin lineage
+                if (epoch <= last_epoch) {  // rejoin lineage
+                    in_lineage.clear();
+                    switch_view_epoch = 0;
+                    last_config_epoch = 0;
+                }
                 last_epoch = epoch;
                 log.windows.push_back({entry.value, {}});
                 continue;
             }
+            if (entry.kind == Entry::Kind::kConfigSwitch) {
+                const std::uint64_t cfg = config_detail_config_epoch(entry.value);
+                if (cfg <= last_config_epoch) {
+                    out.push_back({Violation::Kind::kConfigTornDelivery,
+                                   "member " + std::to_string(key.second) + " in group " +
+                                       std::to_string(key.first) +
+                                       " installed config epoch " + std::to_string(cfg) +
+                                       " after already running config epoch " +
+                                       std::to_string(last_config_epoch)});
+                }
+                last_config_epoch = cfg;
+                switch_view_epoch = config_detail_view_epoch(entry.value) & 0xffff;
+                continue;
+            }
             const std::uint64_t ref = entry.value;
+            // Every delivery is attributed to the config regime in force:
+            // after a switch at view v, a ref ordered under a view < v is a
+            // pre-switch message leaking past the flush boundary.
+            if (switch_view_epoch != 0 && ((ref >> 48) & 0xffff) < switch_view_epoch) {
+                out.push_back({Violation::Kind::kConfigTornDelivery,
+                               "member " + std::to_string(key.second) + " delivered " +
+                                   format_ref(ref) + " in group " +
+                                   std::to_string(key.first) +
+                                   " after switching to config epoch " +
+                                   std::to_string(last_config_epoch) + " at view epoch " +
+                                   std::to_string(switch_view_epoch)});
+            }
             log.deliveries.emplace_back(ref, occurrence[ref]++);
             if (!in_lineage.insert(ref).second) {
                 out.push_back({Violation::Kind::kDuplicateDelivery,

@@ -11,7 +11,15 @@
 //  * no duplicates — no member delivers one {epoch, sender, seq} ref twice
 //                    within a view lineage (epochs restart after a rejoin),
 //  * reply accounting — every completed two-way call saw at least the
-//                    per-mode minimum of kReplyCollected events first.
+//                    per-mode minimum of kReplyCollected events first,
+//  * config integrity — every delivery is attributed to a configuration
+//                    epoch; once a member installs a reconfigured view
+//                    (kConfigSwitched) it must never deliver a message that
+//                    was ordered under a pre-switch view, and installed
+//                    config epochs only advance within a lineage.  Total
+//                    order and virtual synchrony hold *across* the switch
+//                    for free: the proposal's own delivery is an ordered
+//                    event in the same stream the other checks read.
 //
 // The oracle only reads the stream; it holds no protocol state, so it can
 // run over live captures, ring-buffer snapshots or hand-built (mutated)
@@ -48,6 +56,10 @@ struct Violation {
         kDuplicateDelivery,
         kReplyThreshold,
         kTruncatedTrace,
+        /// A member delivered a message ordered under a pre-switch view
+        /// after installing a newer configuration (or its installed config
+        /// epochs regressed): the flush-delimited switch boundary tore.
+        kConfigTornDelivery,
     };
     Kind kind{Kind::kTotalOrder};
     std::string message;

@@ -36,6 +36,8 @@ const char* trace_kind_name(TraceKind kind) {
         case TraceKind::kDataArrived: return "data_arrived";
         case TraceKind::kPayloadDelivered: return "payload_delivered";
         case TraceKind::kOrderAssigned: return "order_assigned";
+        case TraceKind::kConfigProposed: return "config_proposed";
+        case TraceKind::kConfigSwitched: return "config_switched";
     }
     return "?";
 }

@@ -60,11 +60,14 @@ enum class TraceKind : std::uint8_t {
     kDataArrived = 23,       // DATA message ingested in FIFO order at a member
     kPayloadDelivered = 24,  // one payload handed to the app layer
     kOrderAssigned = 25,     // sequencer broadcast the order record for a ref
+    // runtime reconfiguration
+    kConfigProposed = 26,    // a ConfigChangeMsg delivered in total order
+    kConfigSwitched = 27,    // a view install applied a new configuration
 };
 
 /// Number of TraceKind values; keep in sync with the enum above (the
 /// exhaustiveness test in tests/obs_test.cpp fails if a kind lacks a name).
-inline constexpr std::size_t kTraceKindCount = 26;
+inline constexpr std::size_t kTraceKindCount = 28;
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);
 
@@ -129,6 +132,23 @@ enum class SpanRole : std::uint8_t { kClient = 1, kManager = 2, kServer = 3, kSe
 
 [[nodiscard]] constexpr std::uint64_t view_detail_epoch(std::uint64_t detail) {
     return detail & 0xffffffffULL;
+}
+
+/// kConfigSwitched detail: low 32 bits the view epoch the new configuration
+/// took effect at (pre-cut deliveries for older epochs are traced *before*
+/// this event), high 32 bits the config epoch.  kConfigProposed reuses the
+/// same layout with the config epoch the proposal would create.
+[[nodiscard]] constexpr std::uint64_t pack_config_detail(std::uint64_t config_epoch,
+                                                         std::uint64_t view_epoch) {
+    return (config_epoch << 32) | (view_epoch & 0xffffffffULL);
+}
+
+[[nodiscard]] constexpr std::uint64_t config_detail_view_epoch(std::uint64_t detail) {
+    return detail & 0xffffffffULL;
+}
+
+[[nodiscard]] constexpr std::uint64_t config_detail_config_epoch(std::uint64_t detail) {
+    return detail >> 32;
 }
 
 /// kCallCompleted / kCallFailed / kCallTimedOut detail: low 32 bits the

@@ -36,5 +36,29 @@ TEST(ChaosCampaign, LongCampaignClean) {
     EXPECT_EQ(result.runs, seeds_from_env());
 }
 
+// Same acceptance bar with mid-run reconfigurations sprinkled in: every
+// scenario may now carry 0-3 kReconfigure faults switching a live server
+// group between the symmetric and asymmetric total-order protocols while
+// crashes, restarts, partitions and loss bursts fire around it.  The
+// extended oracle (config-epoch attribution, kConfigTornDelivery) judges
+// every run.  A disjoint seed block keeps the two campaigns from re-running
+// identical fault plans.
+TEST(ChaosCampaign, ReconfigCampaignClean) {
+    CampaignOptions options;
+    options.base_seed = 1'000'000;
+    options.runs = seeds_from_env();
+    options.limits.allow_reconfigs = true;
+    const CampaignResult result = CampaignRunner(options).run();
+    if (!result.ok()) {
+        ADD_FAILURE() << "\n=====================================================\n"
+                      << "FAILING SEED: " << result.first_failure->seed << "\n"
+                      << "replay with: NEWTOP_FUZZ_SEED=" << result.first_failure->seed
+                      << " NEWTOP_FUZZ_RECONFIG=1 newtop_fuzz\n"
+                      << "=====================================================\n"
+                      << result.report();
+    }
+    EXPECT_EQ(result.runs, seeds_from_env());
+}
+
 }  // namespace
 }  // namespace newtop::fuzz

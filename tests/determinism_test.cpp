@@ -200,6 +200,76 @@ TEST(Determinism, OrbChurnReproducibleAcrossHeapLayouts) {
     EXPECT_NE(a.find('@'), std::string::npos);  // some completions actually ran
 }
 
+// -- reconfiguration determinism ------------------------------------------------------
+
+/// A runtime protocol switch right in the middle of a call burst.  The
+/// switch path allocates (pending configs, parked sends, rebuilt ordering
+/// engines), so this scenario is the regression net for any
+/// address-dependent ordering introduced by reconfiguration: the same seed
+/// must reproduce the same history bit-for-bit across heap layouts.
+std::string run_reconfig_burst(std::uint64_t seed) {
+    Scheduler scheduler;
+    Network net(scheduler, calibration::make_lan_topology(), seed);
+    Directory directory;
+
+    std::vector<std::unique_ptr<Orb>> orbs;
+    std::vector<std::unique_ptr<NewTopService>> nsos;
+    auto add = [&]() -> NewTopService& {
+        orbs.push_back(std::make_unique<Orb>(net, net.add_node(SiteId(0))));
+        nsos.push_back(std::make_unique<NewTopService>(*orbs.back(), directory));
+        return *nsos.back();
+    };
+
+    GroupConfig cfg;
+    cfg.order = OrderMode::kTotalSymmetric;
+    cfg.liveness = LivenessMode::kLively;
+    for (int i = 0; i < 3; ++i) {
+        add().serve("svc", cfg, std::make_shared<EchoServant>());
+        scheduler.run_until(scheduler.now() + 300_ms);
+    }
+    NewTopService& client = add();
+    GroupProxy proxy = client.bind("svc", {.mode = BindMode::kOpen});
+    scheduler.run_until(scheduler.now() + 2_s);
+
+    std::ostringstream history;
+    for (int k = 0; k < 10; ++k) {
+        proxy.invoke(kEcho, encode_to_bytes(std::string("r") + std::to_string(k)),
+                     InvocationMode::kWaitAll, [&, k](const GroupReply& reply) {
+                         history << "r" << k << "@" << scheduler.now() << ":"
+                                 << reply.replies.size() << "\n";
+                     });
+        if (k == 4) {
+            // Mid-burst: a member proposes the switch to the sequencer.
+            const auto* info = directory.find_group("svc");
+            GroupConfig next = cfg;
+            next.order = OrderMode::kTotalAsymmetric;
+            nsos[0]->reconfigure(info->id, next);
+        }
+        scheduler.run_until(scheduler.now() + 150_ms);
+    }
+    scheduler.run_until(scheduler.now() + 10_s);
+
+    const auto* info = directory.find_group("svc");
+    for (int i = 0; i < 3; ++i) {
+        history << "epoch" << i << "=" << nsos[static_cast<std::size_t>(i)]->config_epoch(info->id)
+                << "\n";
+    }
+    history << "msgs=" << net.stats().messages_sent << " bytes=" << net.stats().bytes_sent
+            << " t=" << scheduler.now();
+    return history.str();
+}
+
+TEST(Determinism, ReconfigMidBurstReproducibleAcrossHeapLayouts) {
+    const std::string a = run_reconfig_burst(99);
+    // Perturb the heap so address-dependent ordering would diverge.
+    std::vector<std::unique_ptr<int>> ballast;
+    for (int i = 0; i < 2048; ++i) ballast.push_back(std::make_unique<int>(i));
+    const std::string b = run_reconfig_burst(99);
+    EXPECT_EQ(a, b);
+    // The switch really happened in both runs.
+    EXPECT_NE(a.find("epoch0=1"), std::string::npos) << a;
+}
+
 // -- public API edges -----------------------------------------------------------------
 
 struct ApiEdges : ::testing::Test {

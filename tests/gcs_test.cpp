@@ -635,7 +635,7 @@ TEST(GcsMessages, AllVariantsRoundTrip) {
         SuspectMsg{GroupId(1), 2, EndpointId(1), {EndpointId(9)}},
         ProposeMsg{GroupId(1), 2, 3, EndpointId(1), {EndpointId(1), EndpointId(2)}},
         FlushMsg{GroupId(1), 3, EndpointId(1), EndpointId(2), {}, {}},
-        InstallMsg{GroupId(1), view, EndpointId(1), {}, {}},
+        InstallMsg{GroupId(1), view, EndpointId(1), {}, {}, GroupConfig{}, 2, 7},
     };
     for (const auto& msg : msgs) {
         const GcsMessage out = decode_gcs_message(encode_gcs_message(msg));

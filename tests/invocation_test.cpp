@@ -112,6 +112,47 @@ struct ThreeServerLan : ::testing::Test {
 
 // -- open groups ---------------------------------------------------------------------
 
+// Regression for the stale-config hazard: client bindings used to build
+// their client/server group's GroupConfig locally (defaults + cs_order),
+// so a runtime reconfiguration of the server group never reached new
+// bindings.  All construction sites now share one directory-backed lookup
+// — a binding created *after* a switch must inherit the server group's
+// current policies, with only cs_order layered on top.
+TEST_F(ThreeServerLan, NewBindingInheritsReconfiguredServerPolicies) {
+    const auto* svc_info = world.directory.find_group("svc");
+    ASSERT_NE(svc_info, nullptr);
+    GroupConfig next = svc_info->config;
+    next.order = OrderMode::kTotalSymmetric;
+    next.liveness = LivenessMode::kLively;
+    next.order_window = 5;
+    world.nso(servers[0]).reconfigure(svc_info->id, next);
+    world.run_for(5_s);
+    ASSERT_EQ(world.nso(servers[0]).config_epoch(svc_info->id), 1u);
+
+    const std::size_t late = world.add_nso(SiteId(0));
+    GroupProxy proxy = world.nso(late).bind(
+        "svc", {.mode = BindMode::kOpen, .cs_order = OrderMode::kTotalAsymmetric});
+    world.run_for(2_s);
+    ASSERT_TRUE(proxy.ready());
+
+    // First binding of a fresh client: id 1, attempt 1.
+    const std::string cs_name =
+        "cs:" + std::to_string(world.nso(late).id().value()) + ":1:1";
+    const auto* cs_info = world.directory.find_group(cs_name);
+    ASSERT_NE(cs_info, nullptr) << "client/server group not registered as " << cs_name;
+    EXPECT_EQ(cs_info->config.order_window, 5u) << "switched window did not carry over";
+    EXPECT_EQ(cs_info->config.liveness, LivenessMode::kLively);
+    EXPECT_EQ(cs_info->config.order, OrderMode::kTotalAsymmetric) << "cs_order must win";
+    EXPECT_EQ(cs_info->config.adaptive_asym_threshold, 0u)
+        << "cs groups must never adapt on their own";
+
+    // The new binding works against the reconfigured server group.
+    const GroupReply reply = call(proxy, kIncrement, encode_to_bytes(std::int64_t{2}),
+                                  InvocationMode::kWaitAll);
+    EXPECT_TRUE(reply.complete);
+    EXPECT_EQ(reply.replies.size(), 3u);
+}
+
 TEST_F(ThreeServerLan, OpenWaitFirstReturnsOneReply) {
     GroupProxy proxy = world.nso(client).bind("svc", {.mode = BindMode::kOpen});
     const GroupReply reply = call(proxy, kGet, Bytes{}, InvocationMode::kWaitFirst);

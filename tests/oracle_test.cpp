@@ -177,6 +177,70 @@ TEST(ProtocolOracle, RepliesMustPrecedeTheCompletion) {
                               Violation::Kind::kReplyThreshold));
 }
 
+// -- config-epoch attribution -------------------------------------------------
+
+TraceEvent switched(SimTime at, std::uint64_t actor, std::uint64_t group,
+                    std::uint64_t config_epoch, std::uint64_t view_epoch) {
+    TraceEvent e;
+    e.at = at;
+    e.kind = TraceKind::kConfigSwitched;
+    e.actor = actor;
+    e.subject = group;
+    e.detail = obs::pack_config_detail(config_epoch, view_epoch);
+    return e;
+}
+
+TEST(ProtocolOracle, CleanConfigSwitchIsClean) {
+    // Pre-switch deliveries under view 1, the switch at view 2's install,
+    // post-switch deliveries ordered under view 2: the textbook timeline.
+    const std::vector<TraceEvent> events = {
+        installed(0, 1, 5, 1, 77),  delivered(10, 1, 5, 1, 1, 0),
+        installed(20, 1, 5, 2, 88), switched(20, 1, 5, 1, 2),
+        delivered(30, 1, 5, 2, 1, 0),
+    };
+    const auto violations = obs::ProtocolOracle().check(events);
+    EXPECT_TRUE(violations.empty()) << obs::ProtocolOracle::report(violations);
+}
+
+TEST(ProtocolOracle, ReportsPreSwitchDeliveryAfterConfigSwitch) {
+    // A message ordered under view 1 delivered after the member switched
+    // configs at view 2: the flush boundary tore.
+    const std::vector<TraceEvent> events = {
+        installed(0, 1, 5, 1, 77),
+        installed(20, 1, 5, 2, 88),
+        switched(20, 1, 5, 1, 2),
+        delivered(30, 1, 5, 1, 1, 0),
+    };
+    EXPECT_TRUE(has_violation(obs::ProtocolOracle().check(events),
+                              Violation::Kind::kConfigTornDelivery));
+}
+
+TEST(ProtocolOracle, ReportsConfigEpochRegression) {
+    const std::vector<TraceEvent> events = {
+        installed(0, 1, 5, 1, 77),
+        switched(10, 1, 5, 2, 1),
+        switched(20, 1, 5, 1, 1),  // epochs must only advance in a lineage
+    };
+    EXPECT_TRUE(has_violation(obs::ProtocolOracle().check(events),
+                              Violation::Kind::kConfigTornDelivery));
+}
+
+TEST(ProtocolOracle, LineageRestartResetsConfigAttribution) {
+    // An ejected member rejoins a re-formed group: view epochs restart, and
+    // so does config attribution — a fresh epoch-1 delivery and an epoch-1
+    // config are both legitimate again.
+    const std::vector<TraceEvent> events = {
+        installed(0, 1, 5, 3, 77),
+        switched(0, 1, 5, 2, 3),
+        delivered(10, 1, 5, 3, 1, 0),
+        installed(20, 1, 5, 1, 99),  // epoch regressed: new lineage
+        switched(20, 1, 5, 1, 1),
+        delivered(30, 1, 5, 1, 1, 0),
+    };
+    const auto violations = obs::ProtocolOracle().check(events);
+    EXPECT_TRUE(violations.empty()) << obs::ProtocolOracle::report(violations);
+}
+
 // -- captured streams: a real world, then seeded mutations --------------------
 
 constexpr std::uint32_t kEcho = 1;
@@ -404,6 +468,45 @@ TEST(CapturedTrace, MutationDroppedDeliveryBreaksVirtualSynchrony) {
 
     EXPECT_TRUE(has_violation(obs::ProtocolOracle().check(events),
                               Violation::Kind::kVirtualSynchrony));
+}
+
+TEST(CapturedTrace, MutationTornConfigSwitchIsReported) {
+    // A real runtime reconfiguration mid-workload passes the oracle; then
+    // rewriting one post-switch delivery's ref to a pre-switch view epoch
+    // must trip the config-torn check.
+    CaptureWorld world(2);
+    ASSERT_EQ(world.run_calls(2), 2);
+    const auto* info = world.directory.find_group("svc");
+    ASSERT_NE(info, nullptr);
+    const GroupConfig* current = world.nsos[0]->group_comm().group_config(info->id);
+    ASSERT_NE(current, nullptr);
+    GroupConfig next = *current;
+    next.order = current->order == OrderMode::kTotalSymmetric ? OrderMode::kTotalAsymmetric
+                                                              : OrderMode::kTotalSymmetric;
+    world.nsos[0]->reconfigure(info->id, next);
+    world.run_for(5_s);
+    ASSERT_EQ(world.run_calls(2), 2);
+    std::vector<TraceEvent> events = world.sink.events();
+    {
+        const auto violations = obs::ProtocolOracle().check(events);
+        ASSERT_TRUE(violations.empty()) << obs::ProtocolOracle::report(violations);
+    }
+
+    const auto marker =
+        std::find_if(events.begin(), events.end(),
+                     [](const TraceEvent& e) { return e.kind == TraceKind::kConfigSwitched; });
+    ASSERT_NE(marker, events.end()) << "the reconfiguration never switched";
+    const std::uint64_t switch_epoch = obs::config_detail_view_epoch(marker->detail) & 0xffff;
+    ASSERT_GE(switch_epoch, 2u);
+    const auto torn = std::find_if(marker, events.end(), [&](const TraceEvent& e) {
+        return e.kind == TraceKind::kDataDelivered && e.subject == marker->subject &&
+               e.actor == marker->actor;
+    });
+    ASSERT_NE(torn, events.end()) << "no post-switch delivery to mutate";
+    torn->detail = (torn->detail & 0x0000ffffffffffffULL) | ((switch_epoch - 1) << 48);
+
+    EXPECT_TRUE(has_violation(obs::ProtocolOracle().check(events),
+                              Violation::Kind::kConfigTornDelivery));
 }
 
 }  // namespace

@@ -21,7 +21,10 @@
 #include <vector>
 
 #include "gcs/endpoint.hpp"
+#include "gcs/messages.hpp"
 #include "net/calibration.hpp"
+#include "serial/decoder.hpp"
+#include "serial/encoder.hpp"
 #include "util/rng.hpp"
 
 namespace newtop {
@@ -335,6 +338,69 @@ TEST(CausalLegalityProperty, DeliveriesNeverPrecedeTheirCauses) {
                     << "causal violation at member " << i << " for " << text;
             }
         }
+    }
+}
+
+// -- ConfigChangeMsg CDR ------------------------------------------------------
+// The reconfiguration proposal rides the ordered data stream as an encoded
+// payload, so its codec is on the protocol's critical path: random
+// configurations must survive a round trip exactly, and any truncation
+// must throw DecodeError rather than mis-decode or crash.
+
+GroupConfig random_config(Rng& rng) {
+    GroupConfig cfg;
+    const std::uint64_t roll = rng.next_in(0, 2);
+    cfg.order = roll == 0   ? OrderMode::kTotalSymmetric
+                : roll == 1 ? OrderMode::kTotalAsymmetric
+                            : OrderMode::kCausal;
+    cfg.liveness = rng.next_bool(0.5) ? LivenessMode::kLively : LivenessMode::kEventDriven;
+    cfg.time_silence = static_cast<SimDuration>(rng.next_in(1, 1'000'000));
+    cfg.ack_delay = static_cast<SimDuration>(rng.next_in(1, 10'000));
+    cfg.suspicion_timeout = static_cast<SimDuration>(rng.next_in(1, 2'000'000));
+    cfg.view_change_timeout = static_cast<SimDuration>(rng.next_in(1, 4'000'000));
+    cfg.stability_period = static_cast<SimDuration>(rng.next_in(1, 1'000'000));
+    cfg.order_window = static_cast<std::size_t>(rng.next_in(0, 128));
+    cfg.order_max_batch = static_cast<std::size_t>(rng.next_in(1, 256));
+    cfg.adaptive_asym_threshold = static_cast<std::size_t>(rng.next_in(0, 16));
+    return cfg;
+}
+
+TEST(ConfigChangeCdr, RoundTripsRandomProposals) {
+    Rng rng(2026);
+    for (int i = 0; i < 200; ++i) {
+        ConfigChangeMsg msg;
+        msg.group = GroupId(rng.next_in(1, 1u << 20));
+        msg.next = random_config(rng);
+        msg.nonce = rng.next_u64();
+        Encoder e;
+        encode(e, msg);
+        const Bytes bytes = std::move(e).take();
+        Decoder d(bytes);
+        ConfigChangeMsg out;
+        decode(d, out);
+        EXPECT_TRUE(d.exhausted()) << "iteration " << i;
+        EXPECT_EQ(out.group, msg.group) << "iteration " << i;
+        EXPECT_TRUE(out.next == msg.next) << "iteration " << i;
+        EXPECT_EQ(out.nonce, msg.nonce) << "iteration " << i;
+    }
+}
+
+TEST(ConfigChangeCdr, EveryTruncationThrowsDecodeError) {
+    Rng rng(7);
+    ConfigChangeMsg msg;
+    msg.group = GroupId(42);
+    msg.next = random_config(rng);
+    msg.nonce = 0x1234'5678'9abc'def0ULL;
+    Encoder e;
+    encode(e, msg);
+    const Bytes bytes = std::move(e).take();
+    ASSERT_GT(bytes.size(), 0u);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        const Bytes prefix(bytes.begin(),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+        Decoder d(prefix);
+        ConfigChangeMsg out;
+        EXPECT_THROW(decode(d, out), DecodeError) << "prefix length " << cut;
     }
 }
 

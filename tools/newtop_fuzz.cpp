@@ -20,13 +20,17 @@ namespace {
 
 int usage() {
     std::cerr << "usage: newtop_fuzz [--seeds N] [--base B] [--seed S] [--no-shrink]\n"
-                 "                   [--print]\n"
+                 "                   [--print] [--reconfig]\n"
                  "  --seeds N     run a campaign over N consecutive seeds (default 50)\n"
                  "  --base B      first seed of the campaign block (default 1)\n"
                  "  --seed S      run exactly one seed (also: NEWTOP_FUZZ_SEED env)\n"
                  "  --no-shrink   report the raw failing scenario without minimising\n"
                  "  --print       print each generated scenario as JSON before running\n"
-                 "  --dump        on failure, print the failing run's full trace stream\n";
+                 "  --dump        on failure, print the failing run's full trace stream\n"
+                 "  --reconfig    enable mid-run reconfiguration faults (also:\n"
+                 "                NEWTOP_FUZZ_RECONFIG=1 env); a seed generates a\n"
+                 "                different scenario with this on, so replays must\n"
+                 "                match the campaign's flag\n";
     return 2;
 }
 
@@ -45,6 +49,10 @@ int main(int argc, char** argv) {
     // newtop-lint: allow(getenv): replay knob read once at startup, before any simulation runs
     if (const char* env = std::getenv("NEWTOP_FUZZ_SEED"); env != nullptr && *env != '\0') {
         single_seed = std::strtoull(env, nullptr, 10);
+    }
+    // newtop-lint: allow(getenv): replay knob read once at startup, before any simulation runs
+    if (const char* env = std::getenv("NEWTOP_FUZZ_RECONFIG"); env != nullptr && *env == '1') {
+        options.limits.allow_reconfigs = true;
     }
 
     for (int i = 1; i < argc; ++i) {
@@ -70,6 +78,8 @@ int main(int argc, char** argv) {
             print_scenarios = true;
         } else if (arg == "--dump") {
             options.run.keep_trace = true;
+        } else if (arg == "--reconfig") {
+            options.limits.allow_reconfigs = true;
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
             return usage();
@@ -107,10 +117,12 @@ int main(int argc, char** argv) {
         }
     }
     if (!result.ok()) {
+        const char* reconfig_env =
+            options.limits.allow_reconfigs ? " NEWTOP_FUZZ_RECONFIG=1" : "";
         std::cout << "=====================================================\n"
                   << "FAILING SEED: " << result.first_failure->seed << "\n"
                   << "replay with: NEWTOP_FUZZ_SEED=" << result.first_failure->seed
-                  << " newtop_fuzz\n"
+                  << reconfig_env << " newtop_fuzz\n"
                   << "=====================================================\n";
         return 1;
     }
