@@ -1,0 +1,58 @@
+// Global operator new/delete replacement with relaxed atomic counters.
+// See alloc_hook.hpp.  Lives in its own translation unit so linking it is
+// an explicit per-binary decision (every bench target; never the library).
+#include "alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void counted_free(void* p) noexcept {
+    if (p == nullptr) return;
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+}  // namespace
+
+namespace newtop::bench::alloc {
+
+Snapshot snapshot() {
+    return {g_allocs.load(std::memory_order_relaxed), g_frees.load(std::memory_order_relaxed)};
+}
+
+}  // namespace newtop::bench::alloc
+
+void* operator new(std::size_t size) {
+    void* p = counted_alloc(size);
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+void* operator new[](std::size_t size) {
+    void* p = counted_alloc(size);
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }

@@ -1,0 +1,37 @@
+// Heap-allocation counting for the benchmarks.
+//
+// bench/alloc_hook.cpp (linked into every bench binary) replaces the global
+// operator new/delete with counting forwarders to malloc/free.  Snapshot the
+// counters around a measured window to get the allocation cost of that
+// window: `allocs` is churn (every operator new), `allocs - frees` is net
+// heap growth.  In steady state the protocol recycles its buffers (encode
+// arena, pooled CDR storage, pre-sized containers), so net growth per
+// delivered invocation must stay ~0; churn is reported alongside so codec
+// or container regressions show up even when they free what they allocate.
+#pragma once
+
+#include <cstdint>
+
+namespace newtop::bench::alloc {
+
+struct Snapshot {
+    std::uint64_t allocs{0};
+    std::uint64_t frees{0};
+};
+
+/// Current process-wide counter values (monotonic since process start).
+Snapshot snapshot();
+
+/// Allocations in `end` that happened after `begin`.
+inline std::uint64_t allocs_between(const Snapshot& begin, const Snapshot& end) {
+    return end.allocs - begin.allocs;
+}
+
+/// Net heap growth (allocations never freed) across the window.  Signed:
+/// a window can free more than it allocates (e.g. teardown).
+inline std::int64_t net_between(const Snapshot& begin, const Snapshot& end) {
+    return static_cast<std::int64_t>(end.allocs - begin.allocs) -
+           static_cast<std::int64_t>(end.frees - begin.frees);
+}
+
+}  // namespace newtop::bench::alloc

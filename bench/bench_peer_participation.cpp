@@ -28,7 +28,7 @@ namespace {
 using namespace newtop;
 using namespace newtop::sim_literals;
 
-enum class Where { kLan, kGeo };
+enum class Where : std::uint8_t { kLan, kGeo };
 
 struct PeerResult {
     double mean_deliver_ms{0.0};

@@ -23,6 +23,10 @@ namespace {
 using namespace newtop;
 using namespace newtop::bench;
 
+/// Permitted net heap growth per delivered invocation in the measured
+/// window (see the steady-state check in BM_Saturation_Lan).
+constexpr double kNetAllocBudgetPerInv = 0.5;
+
 struct SaturationOptions {
     std::size_t order_window{16};  // 0 = unbatched (pre-window behaviour)
     std::size_t order_max_batch{64};
@@ -43,6 +47,12 @@ struct SaturationResult {
     double invocations_per_sec{0.0};
     std::uint64_t delivered{0};
     std::uint64_t wire_messages{0};
+    /// Heap traffic inside the measured window, per delivered invocation
+    /// (bench/alloc_hook.cpp counters).  Churn counts every operator new;
+    /// net is allocations never freed — the steady-state protocol recycles
+    /// its buffers, so net must stay ~0.
+    double allocs_per_inv{0.0};
+    double net_allocs_per_inv{0.0};
     std::string metrics_json;
     obs::ProfileReport profile;  // options.profile only
 };
@@ -101,11 +111,20 @@ SaturationResult run_saturation(const SaturationOptions& options) {
     scheduler.run_until(scheduler.now() + options.warmup);
     const std::uint64_t delivered_before = observed;
     const std::uint64_t wire_before = network.stats().messages_sent;
+    const alloc::Snapshot heap_before = alloc::snapshot();
     scheduler.run_until(scheduler.now() + options.measured);
+    const alloc::Snapshot heap_after = alloc::snapshot();
 
     SaturationResult result;
     result.delivered = observed - delivered_before;
     result.wire_messages = network.stats().messages_sent - wire_before;
+    if (result.delivered > 0) {
+        const double delivered = static_cast<double>(result.delivered);
+        result.allocs_per_inv =
+            static_cast<double>(alloc::allocs_between(heap_before, heap_after)) / delivered;
+        result.net_allocs_per_inv =
+            static_cast<double>(alloc::net_between(heap_before, heap_after)) / delivered;
+    }
     result.invocations_per_sec =
         static_cast<double>(result.delivered) / to_seconds(options.measured);
     result.metrics_json = network.metrics().to_json();
@@ -134,15 +153,21 @@ SaturationResult run_saturation(const SaturationOptions& options) {
     return result;
 }
 
-std::string json_mode(const char* name, const SaturationOptions& options,
+/// `steady_state` marks modes that drain their offered load; only those make
+/// a net-allocation claim (a backlogged mode buffers its queue growth).
+std::string json_mode(const char* name, bool steady_state, const SaturationOptions& options,
                       const SaturationResult& result) {
     std::string out = "{\"name\":\"";
     out += name;
-    out += "\",\"order_window\":" + std::to_string(options.order_window);
+    out += "\",\"steady_state\":";
+    out += steady_state ? "true" : "false";
+    out += ",\"order_window\":" + std::to_string(options.order_window);
     out += ",\"order_max_batch\":" + std::to_string(options.order_max_batch);
     out += ",\"delivered\":" + std::to_string(result.delivered);
     out += ",\"wire_messages\":" + std::to_string(result.wire_messages);
     out += ",\"invocations_per_sec\":" + std::to_string(result.invocations_per_sec);
+    out += ",\"allocs_per_inv\":" + std::to_string(result.allocs_per_inv);
+    out += ",\"net_allocs_per_inv\":" + std::to_string(result.net_allocs_per_inv);
     out += "}";
     return out;
 }
@@ -160,8 +185,8 @@ void write_artifact(const SaturationOptions& unbatched_options,
     const obs::ProfileReport& profile = profiled.profile;
     out << "{\"bench\":\"saturation\",\"setting\":\"lan\",\"seed\":"
         << unbatched_options.seed << ",\"modes\":["
-        << json_mode("unbatched", unbatched_options, unbatched) << ","
-        << json_mode("batched", batched_options, batched) << "],\"speedup\":" << speedup
+        << json_mode("unbatched", false, unbatched_options, unbatched) << ","
+        << json_mode("batched", true, batched_options, batched) << "],\"speedup\":" << speedup
         << ",\"profile\":{\"reconciled\":" << (profile.reconciled() ? "true" : "false")
         << ",\"delivered\":" << profiled.delivered << ",\"sequencer_turnaround\":{\"count\":"
         << profile.sequencer_turnaround_count
@@ -198,9 +223,21 @@ void BM_Saturation_Lan(benchmark::State& state) {
         state.counters["batched_inv_per_s"] = batched.invocations_per_sec;
         state.counters["speedup"] = speedup;
         state.counters["reconciled"] = profiled.profile.reconciled() ? 1.0 : 0.0;
+        state.counters["allocs_per_inv"] = batched.allocs_per_inv;
+        state.counters["net_allocs_per_inv"] = batched.net_allocs_per_inv;
         if (!profiled.profile.reconciled()) {
             std::cerr << "# RECONCILIATION FAILED for the traced saturation run\n"
                       << profiled.profile.to_text();
+        }
+        // Steady-state allocation discipline: after warm-up the data plane
+        // runs on recycled arena buffers and pre-sized containers, so net
+        // heap growth per delivered invocation must be ~0.  A small budget
+        // absorbs map-node churn from the holdback/assignment indexes.
+        if (batched.net_allocs_per_inv > kNetAllocBudgetPerInv) {
+            std::cerr << "# ALLOC REGRESSION: net " << batched.net_allocs_per_inv
+                      << " allocs/invocation in steady state (budget "
+                      << kNetAllocBudgetPerInv << ")\n";
+            state.SkipWithError("steady-state net allocations per invocation over budget");
         }
         write_artifact(unbatched_options, unbatched, batched_options, batched, speedup,
                        profiled);

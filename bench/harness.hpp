@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.hpp"
 #include "net/calibration.hpp"
 #include "newtop/newtop_service.hpp"
 #include "obs/export.hpp"
@@ -34,7 +35,7 @@ namespace newtop::bench {
 
 using namespace sim_literals;
 
-enum class Setting { kLan, kDistantClients, kGeo };
+enum class Setting : std::uint8_t { kLan, kDistantClients, kGeo };
 
 inline const char* setting_name(Setting s) {
     switch (s) {

@@ -47,6 +47,24 @@ def diff_modes(current, previous, threshold):
             print(f"WARNING: throughput regression over {threshold:.0f}%: {line}")
         else:
             print(line)
+        # Allocation discipline: per-invocation heap churn must not creep up.
+        # Tolerance is one alloc/invocation or 10%, whichever is larger, so
+        # tiny counter jitter never fires but a leaked per-message buffer does.
+        alloc_now = mode.get("allocs_per_inv")
+        alloc_before = prev_modes[name].get("allocs_per_inv")
+        if alloc_now is not None and alloc_before is not None:
+            budget = alloc_before + max(1.0, alloc_before * 0.10)
+            alloc_line = f"  allocs/inv: {alloc_before:.2f} -> {alloc_now:.2f}"
+            if alloc_now > budget:
+                regressed = True
+                print(f"WARNING: allocation regression:{alloc_line}")
+            else:
+                print(alloc_line)
+        net_now = mode.get("net_allocs_per_inv")
+        if mode.get("steady_state") and net_now is not None and net_now > 0.5:
+            regressed = True
+            print(f"WARNING: {name} leaks in steady state: "
+                  f"net {net_now:.2f} allocs/invocation")
     speedup = current.get("speedup")
     if speedup is not None:
         print(f"batched/unbatched speedup: {speedup:.2f}x")

@@ -102,7 +102,8 @@ if [[ "${LINT_ONLY}" == 1 ]]; then
     echo "== newtop_lint (build)"
     cmake -B build -S . >/dev/null
     cmake --build build -j "${JOBS}" --target newtop_lint
-    build/tools/newtop_lint --root .
+    build/tools/newtop_lint --root . --baseline tools/lint_suppressions.baseline \
+        --json -o build/lint_report.json
     echo "== format check"
     scripts/format.sh --check
     echo "== lint checks passed"
@@ -117,7 +118,8 @@ run_tree() {
     echo "== build ${dir}"
     cmake --build "${dir}" -j "${JOBS}"
     echo "== newtop_lint ${dir}"
-    "${dir}/tools/newtop_lint" --root .
+    "${dir}/tools/newtop_lint" --root . --baseline tools/lint_suppressions.baseline \
+        --json -o "${dir}/lint_report.json"
     echo "== ctest ${dir} (tier1)"
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L tier1 \
         "${EXTRA_CTEST_ARGS[@]}"

@@ -6,16 +6,17 @@ namespace {
 
 enum class Tag : std::uint8_t { kRequest = 1, kForward = 2, kReply = 3, kAggregate = 4 };
 
-InvocationMode decode_mode(Decoder& d) {
-    const std::uint8_t raw = d.get_u8();
+// These validators take the already-read byte (rather than the Decoder) so
+// the codec bodies keep every d.get_* visible in place — the codec-symmetry
+// lint pass reads the op sequence straight out of the decode statements.
+InvocationMode checked_mode(std::uint8_t raw) {
     if (raw > static_cast<std::uint8_t>(InvocationMode::kWaitAll)) {
         throw DecodeError("bad invocation mode");
     }
     return static_cast<InvocationMode>(raw);
 }
 
-BindMode decode_bind(Decoder& d) {
-    const std::uint8_t raw = d.get_u8();
+BindMode checked_bind(std::uint8_t raw) {
     if (raw > static_cast<std::uint8_t>(BindMode::kOpen)) throw DecodeError("bad bind mode");
     return static_cast<BindMode>(raw);
 }
@@ -62,10 +63,10 @@ void encode_body(Encoder& e, const RequestEnv& v) {
 void decode_body(Decoder& d, RequestEnv& v) {
     decode(d, v.call);
     decode(d, v.span);
-    v.mode = decode_mode(d);
+    v.mode = checked_mode(d.get_u8());
     v.flags = d.get_u8();
     decode(d, v.server_group);
-    v.bind = decode_bind(d);
+    v.bind = checked_bind(d.get_u8());
     v.method = d.get_u32();
     decode(d, v.args);
 }
@@ -82,7 +83,7 @@ void encode_body(Encoder& e, const ForwardEnv& v) {
 void decode_body(Decoder& d, ForwardEnv& v) {
     decode(d, v.call);
     decode(d, v.span);
-    v.mode = decode_mode(d);
+    v.mode = checked_mode(d.get_u8());
     v.flags = d.get_u8();
     decode(d, v.manager);
     v.method = d.get_u32();

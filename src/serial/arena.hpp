@@ -39,6 +39,7 @@ public:
     /// buffers are dropped (freed) instead of pooled.
     void recycle(Bytes b) {
         if (pool_.size() >= kMaxPooled || b.capacity() > kMaxPooledCapacity) return;
+        // newtop-lint: allow(hot-path-alloc): pool is bounded at kMaxPooled; growth stops after warm-up
         pool_.push_back(std::move(b));
     }
 

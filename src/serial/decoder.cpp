@@ -36,9 +36,11 @@ double Decoder::get_double() {
     return v;
 }
 
+// newtop-lint: allow(hot-path-alloc): string fields appear only in cold control-plane messages
 std::string Decoder::get_string() {
     const std::uint32_t n = get_u32();
     require(n);
+    // newtop-lint: allow(hot-path-alloc): same — invocation payloads travel as blob views, not strings
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;

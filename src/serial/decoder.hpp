@@ -40,6 +40,7 @@ public:
     std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
     bool get_bool();
     double get_double();
+    // newtop-lint: allow(hot-path-alloc): control-plane only; data-plane payload reads use get_blob_view
     std::string get_string();
     Bytes get_blob();
 

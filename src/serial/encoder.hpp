@@ -44,6 +44,7 @@ public:
 
     void put_u8(std::uint8_t v) {
         if (counting_) { ++count_; return; }
+        // newtop-lint: allow(hot-path-alloc): counting pass + reserve() pre-size buf_, so steady-state pushes never reallocate
         buf_.push_back(v);
     }
     void put_u16(std::uint16_t v) { put_le(v); }

@@ -5,13 +5,14 @@
 // so tests can capture them.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
 
 namespace newtop {
 
-enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Process-wide log configuration.  Not thread-safe by design: the whole
 /// library runs single-threaded inside the discrete-event simulation.

@@ -1,0 +1,33 @@
+// Fixture: a symmetric wire codec pair, exercising the nested-struct op and
+// the validated-cast decode idiom.  Must produce no findings.
+namespace newtop {
+
+struct SpanStub {
+    std::uint64_t trace;
+};
+
+struct WirePoint {
+    std::uint64_t id;
+    std::uint8_t kind;
+    SpanStub span;
+    std::uint32_t x;
+};
+
+void encode(Encoder& e, const SpanStub& v) { e.put_u64(v.trace); }
+void decode(Decoder& d, SpanStub& v) { v.trace = d.get_u64(); }
+
+void encode(Encoder& e, const WirePoint& v) {
+    e.put_u64(v.id);
+    e.put_u8(static_cast<std::uint8_t>(v.kind));
+    encode(e, v.span);
+    e.put_u32(v.x);
+}
+void decode(Decoder& d, WirePoint& v) {
+    v.id = d.get_u64();
+    const std::uint8_t kind = d.get_u8();
+    v.kind = validate(kind);
+    decode(d, v.span);
+    v.x = d.get_u32();
+}
+
+}  // namespace newtop

@@ -1,0 +1,22 @@
+// Fixture: seeded mutation — decode silently drops the trailing field.
+// Must fire codec-symmetry (op-count mismatch) and struct-coverage (decode
+// never touches the declared field 'tag').
+namespace newtop {
+
+struct WireDrop {
+    std::uint64_t id;
+    std::uint32_t x;
+    std::uint8_t tag;
+};
+
+void encode(Encoder& e, const WireDrop& v) {
+    e.put_u64(v.id);
+    e.put_u32(v.x);
+    e.put_u8(v.tag);
+}
+void decode(Decoder& d, WireDrop& v) {
+    v.id = d.get_u64();
+    v.x = d.get_u32();
+}
+
+}  // namespace newtop

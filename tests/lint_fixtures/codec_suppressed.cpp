@@ -1,0 +1,20 @@
+// Fixture: the same width asymmetry as codec_width.cpp, but with a reasoned
+// suppression on the diverging decode op.  Must produce no findings.
+namespace newtop {
+
+struct WireSupp {
+    std::uint64_t id;
+    std::uint32_t x;
+};
+
+void encode(Encoder& e, const WireSupp& v) {
+    e.put_u64(v.id);
+    e.put_u32(v.x);
+}
+void decode(Decoder& d, WireSupp& v) {
+    v.id = d.get_u64();
+    // newtop-lint: allow(codec-symmetry): upper half of x reserved since v0; peers always send zeros
+    v.x = d.get_u16();
+}
+
+}  // namespace newtop

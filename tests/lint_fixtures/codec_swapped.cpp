@@ -1,0 +1,23 @@
+// Fixture: seeded mutation — decode reads the first two fields in swapped
+// order.  Must fire codec-symmetry (op #1 diverges) and struct-coverage
+// (decode touches fields out of declaration order).
+namespace newtop {
+
+struct WireSwap {
+    std::uint64_t id;
+    std::uint32_t x;
+    std::uint8_t tag;
+};
+
+void encode(Encoder& e, const WireSwap& v) {
+    e.put_u64(v.id);
+    e.put_u32(v.x);
+    e.put_u8(v.tag);
+}
+void decode(Decoder& d, WireSwap& v) {
+    v.x = d.get_u32();
+    v.id = d.get_u64();
+    v.tag = d.get_u8();
+}
+
+}  // namespace newtop

@@ -1,0 +1,20 @@
+// Fixture: seeded mutation — decode narrows a field's wire width (u32 write,
+// u16 read).  Must fire codec-symmetry exactly once; struct-coverage stays
+// quiet because the field names and order still match.
+namespace newtop {
+
+struct WireWidth {
+    std::uint64_t id;
+    std::uint32_t x;
+};
+
+void encode(Encoder& e, const WireWidth& v) {
+    e.put_u64(v.id);
+    e.put_u32(v.x);
+}
+void decode(Decoder& d, WireWidth& v) {
+    v.id = d.get_u64();
+    v.x = d.get_u16();
+}
+
+}  // namespace newtop

@@ -1,0 +1,13 @@
+// Fixture: every allocating construct hot-path-alloc bans, one per line.
+// Scanned as a hot-path file this must yield exactly five findings.
+namespace newtop {
+
+void hot(std::vector<int>& out, const char* s) {
+    int* p = new int(7);
+    auto u = std::make_unique<int>(9);
+    std::function<void()> cb;
+    std::string copy = s;
+    out.push_back(*p);
+}
+
+}  // namespace newtop

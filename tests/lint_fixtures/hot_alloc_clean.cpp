@@ -1,0 +1,12 @@
+// Fixture: hot-path-friendly code — pre-sized growth, borrowed strings.
+// Must produce no findings even inside a hot-path region.
+namespace newtop {
+
+void warm(std::vector<int>& out, std::string_view s, const std::string& name) {
+    out.reserve(out.size() + 4);
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(i);
+    }
+}
+
+}  // namespace newtop

@@ -1,0 +1,11 @@
+// Fixture: un-reserved growth with a reasoned bound.  Must produce no
+// findings: the suppression names the rule and carries a reason.
+namespace newtop {
+
+void recycle(std::vector<int>& pool, int v) {
+    if (pool.size() >= 16) return;
+    // newtop-lint: allow(hot-path-alloc): pool bounded at 16 entries; growth stops after warm-up
+    pool.push_back(v);
+}
+
+}  // namespace newtop

@@ -58,7 +58,7 @@ struct PropWorld {
     std::vector<std::vector<std::string>> delivered;
 };
 
-enum class Net { kLan, kLossyLan, kWan };
+enum class Net : std::uint8_t { kLan, kLossyLan, kWan };
 
 Topology topology_for(Net net) {
     switch (net) {

@@ -1,0 +1,203 @@
+#include "tools/lint_lex.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "tools/lint_rules.hpp"
+
+namespace newtop::lint {
+
+namespace {
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Raw-string-literal prefixes: R, u8R, uR, UR, LR.
+bool is_raw_prefix(std::string_view id) {
+    return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+template <typename Table>
+bool in_table(const Table& table, std::string_view s) {
+    for (std::string_view entry : table) {
+        if (!entry.empty() && entry == s) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+Lexed lex(std::string_view src) {
+    Lexed out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto append_comment = [&out](int at, std::string_view text) {
+        auto& slot = out.comments[at];
+        if (!slot.empty()) slot += ' ';
+        slot.append(text);
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const std::size_t start = i + 2;
+            std::size_t end = src.find('\n', start);
+            if (end == std::string_view::npos) end = n;
+            append_comment(line, src.substr(start, end - start));
+            i = end;
+            continue;
+        }
+        // Block comment (credited to its opening line; suppressions must not
+        // span blocks, so only that line's text matters).
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const int start_line = line;
+            std::size_t end = src.find("*/", i + 2);
+            if (end == std::string_view::npos) end = n;
+            const std::string_view body = src.substr(i + 2, end - (i + 2));
+            append_comment(start_line, body);
+            line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+            i = (end == n) ? n : end + 2;
+            continue;
+        }
+        // String literal.
+        if (c == '"') {
+            const int start_line = line;
+            std::string text;
+            ++i;
+            while (i < n && src[i] != '"' && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n) {
+                    text += src[i];
+                    text += src[i + 1];
+                    i += 2;
+                    continue;
+                }
+                text += src[i++];
+            }
+            if (i < n && src[i] == '"') ++i;
+            out.tokens.push_back({TokKind::kString, std::move(text), start_line});
+            out.code_lines.insert(start_line);
+            continue;
+        }
+        // Character literal.
+        if (c == '\'') {
+            ++i;
+            while (i < n && src[i] != '\'' && src[i] != '\n') {
+                i += (src[i] == '\\' && i + 1 < n) ? 2 : 1;
+            }
+            if (i < n && src[i] == '\'') ++i;
+            out.code_lines.insert(line);
+            continue;
+        }
+        // Identifier / keyword (and raw-string detection).
+        if (is_ident_start(c)) {
+            std::size_t j = i + 1;
+            while (j < n && is_ident_char(src[j])) ++j;
+            std::string id(src.substr(i, j - i));
+            if (is_raw_prefix(id) && j < n && src[j] == '"') {
+                // R"delim( ... )delim"
+                std::size_t p = j + 1;
+                std::string delim;
+                while (p < n && src[p] != '(') delim += src[p++];
+                const std::string closer = ")" + delim + "\"";
+                std::size_t end = src.find(closer, p);
+                if (end == std::string_view::npos) end = n;
+                const std::string_view body = src.substr(i, std::min(end + closer.size(), n) - i);
+                out.tokens.push_back({TokKind::kString, std::string(body), line});
+                out.code_lines.insert(line);
+                line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+                i = std::min(end + closer.size(), n);
+                continue;
+            }
+            out.tokens.push_back({TokKind::kIdentifier, std::move(id), line});
+            out.code_lines.insert(line);
+            i = j;
+            continue;
+        }
+        // Number (loose: suffixes, hex, separators, exponents).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            while (j < n && (is_ident_char(src[j]) || src[j] == '.' || src[j] == '\'')) ++j;
+            out.tokens.push_back({TokKind::kNumber, std::string(src.substr(i, j - i)), line});
+            out.code_lines.insert(line);
+            i = j;
+            continue;
+        }
+        // Punctuation; `::` and `->` kept whole, everything else single-char.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            out.tokens.push_back({TokKind::kPunct, "::", line});
+            out.code_lines.insert(line);
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            out.tokens.push_back({TokKind::kPunct, "->", line});
+            out.code_lines.insert(line);
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+        out.code_lines.insert(line);
+        ++i;
+    }
+    return out;
+}
+
+Suppressions parse_suppressions(const Lexed& lx) {
+    Suppressions out;
+    constexpr std::string_view kMarker = "newtop-lint:";
+    constexpr std::string_view kAllow = "allow(";
+    for (const auto& [line, text] : lx.comments) {
+        std::size_t pos = text.find(kMarker);
+        if (pos == std::string::npos) continue;
+        // A comment sharing a line with code guards that line; a standalone
+        // comment guards the line below it.
+        const int target = lx.code_lines.count(line) != 0 ? line : line + 1;
+        bool any_wellformed = false;
+        const std::size_t malformed_before = out.malformed.size();
+        pos += kMarker.size();
+        while ((pos = text.find(kAllow, pos)) != std::string::npos) {
+            pos += kAllow.size();
+            const std::size_t close = text.find(')', pos);
+            if (close == std::string::npos) break;
+            const std::string rule = text.substr(pos, close - pos);
+            pos = close + 1;
+            // Mandatory reason: a colon followed by non-blank text.
+            std::size_t after = text.find_first_not_of(" \t", pos);
+            const bool has_reason = after != std::string::npos && text[after] == ':' &&
+                                    text.find_first_not_of(" \t", after + 1) != std::string::npos;
+            if (!in_table(kAllRules, rule)) {
+                out.malformed.push_back({"", line, std::string(kRuleBadSuppression),
+                                         "allow(" + rule + ") names no known rule"});
+                continue;
+            }
+            if (!has_reason) {
+                out.malformed.push_back(
+                    {"", line, std::string(kRuleBadSuppression),
+                     "allow(" + rule + ") needs a reason: // newtop-lint: allow(" + rule +
+                         "): <why this is safe>"});
+                continue;
+            }
+            out.by_line[target].insert(rule);
+            any_wellformed = true;
+        }
+        if (!any_wellformed && out.malformed.size() == malformed_before) {
+            out.malformed.push_back({"", line, std::string(kRuleBadSuppression),
+                                     "newtop-lint marker without a well-formed allow(<rule>)"});
+        }
+    }
+    return out;
+}
+
+}  // namespace newtop::lint

@@ -31,10 +31,14 @@ inline constexpr std::string_view kRuleFloatSim = "float-sim";
 inline constexpr std::string_view kRuleLayerDag = "layer-dag";
 inline constexpr std::string_view kRuleMetricName = "metric-name";
 inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
+inline constexpr std::string_view kRuleCodecSymmetry = "codec-symmetry";
+inline constexpr std::string_view kRuleStructCoverage = "struct-coverage";
+inline constexpr std::string_view kRuleHotAlloc = "hot-path-alloc";
 
-inline constexpr std::array<std::string_view, 9> kAllRules = {
-    kRuleWallClock,  kRuleRawRandom, kRuleGetenv,     kRuleUnordered,  kRulePointerKey,
-    kRuleFloatSim,   kRuleLayerDag,  kRuleMetricName, kRuleBadSuppression,
+inline constexpr std::array<std::string_view, 12> kAllRules = {
+    kRuleWallClock,     kRuleRawRandom,     kRuleGetenv,   kRuleUnordered,
+    kRulePointerKey,    kRuleFloatSim,      kRuleLayerDag, kRuleMetricName,
+    kRuleBadSuppression, kRuleCodecSymmetry, kRuleStructCoverage, kRuleHotAlloc,
 };
 
 // ---------------------------------------------------------------------------
@@ -115,6 +119,44 @@ inline constexpr std::array<std::string_view, 10> kMetricPrefixes = {
 };
 inline constexpr std::string_view kMetricScopeDir = "src/";
 inline constexpr std::string_view kMetricTableFile = "src/obs/names.hpp";
+
+// ---------------------------------------------------------------------------
+// Semantic passes (lint_passes.hpp): wire-codec symmetry, struct coverage,
+// hot-path allocation discipline.
+// ---------------------------------------------------------------------------
+
+/// Directories holding wire codecs — free functions
+/// `encode(Encoder&, const T&)` / `decode(Decoder&, T&)` (and the
+/// `*_body` variant-member forms).  codec-symmetry pairs every encode with
+/// its decode across these files and compares the ordered op sequences;
+/// struct-coverage additionally checks each codec against T's declared
+/// field list.
+inline constexpr std::array<std::string_view, 4> kCodecScopeDirs = {
+    "src/serial/", "src/gcs/", "src/orb/", "src/invocation/",
+};
+
+/// Files outside kCodecScopeDirs whose struct declarations are still wire
+/// structs (their codecs live inside the scope dirs).
+inline constexpr std::array<std::string_view, 1> kCodecExtraStructFiles = {
+    "src/obs/trace.hpp",
+};
+
+/// Hot-path regions where the arena-CDR zero-allocation property is
+/// enforced statically: the serialization library and the ordering engines'
+/// per-message data path.  hot-path-alloc bans `new`, make_unique /
+/// make_shared, by-value std::string, std::function, and push_back /
+/// emplace_back growth in functions with no visible reserve().
+inline constexpr std::array<std::string_view, 2> kHotPathPrefixes = {
+    "src/serial/",
+    "src/gcs/ordering.",
+};
+
+/// Allocating factory calls banned on hot paths.
+inline constexpr std::array<std::string_view, 2> kAllocMakeIds = {"make_unique", "make_shared"};
+
+/// Amortised-growth calls banned on hot paths unless the enclosing function
+/// visibly pre-sizes with reserve() (or carries a reasoned suppression).
+inline constexpr std::array<std::string_view, 2> kAllocGrowthIds = {"push_back", "emplace_back"};
 
 /// float-sim applies under src/: sim-time math is integral-microsecond plus
 /// `double` for derived ratios (util/time.hpp); introducing `float` anywhere

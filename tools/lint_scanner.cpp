@@ -1,170 +1,17 @@
 #include "tools/lint_scanner.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
-#include <map>
 #include <set>
 #include <sstream>
 
+#include "tools/lint_lex.hpp"
+#include "tools/lint_passes.hpp"
 #include "tools/lint_rules.hpp"
 
 namespace newtop::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer.
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdentifier, kNumber, kString, kPunct };
-
-struct Token {
-    TokKind kind;
-    std::string text;
-    int line;
-};
-
-struct Lexed {
-    std::vector<Token> tokens;
-    std::map<int, std::string> comments;  // line -> concatenated comment text
-    std::set<int> code_lines;             // lines that carry at least one token
-};
-
-bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Raw-string-literal prefixes: R, u8R, uR, UR, LR.
-bool is_raw_prefix(std::string_view id) {
-    return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
-}
-
-Lexed lex(std::string_view src) {
-    Lexed out;
-    int line = 1;
-    std::size_t i = 0;
-    const std::size_t n = src.size();
-
-    auto append_comment = [&out](int at, std::string_view text) {
-        auto& slot = out.comments[at];
-        if (!slot.empty()) slot += ' ';
-        slot.append(text);
-    };
-
-    while (i < n) {
-        const char c = src[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        // Line comment.
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            const std::size_t start = i + 2;
-            std::size_t end = src.find('\n', start);
-            if (end == std::string_view::npos) end = n;
-            append_comment(line, src.substr(start, end - start));
-            i = end;
-            continue;
-        }
-        // Block comment (credited to its opening line; suppressions must not
-        // span blocks, so only that line's text matters).
-        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            const int start_line = line;
-            std::size_t end = src.find("*/", i + 2);
-            if (end == std::string_view::npos) end = n;
-            const std::string_view body = src.substr(i + 2, end - (i + 2));
-            append_comment(start_line, body);
-            line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-            i = (end == n) ? n : end + 2;
-            continue;
-        }
-        // String literal.
-        if (c == '"') {
-            const int start_line = line;
-            std::string text;
-            ++i;
-            while (i < n && src[i] != '"' && src[i] != '\n') {
-                if (src[i] == '\\' && i + 1 < n) {
-                    text += src[i];
-                    text += src[i + 1];
-                    i += 2;
-                    continue;
-                }
-                text += src[i++];
-            }
-            if (i < n && src[i] == '"') ++i;
-            out.tokens.push_back({TokKind::kString, std::move(text), start_line});
-            out.code_lines.insert(start_line);
-            continue;
-        }
-        // Character literal.
-        if (c == '\'') {
-            ++i;
-            while (i < n && src[i] != '\'' && src[i] != '\n') {
-                i += (src[i] == '\\' && i + 1 < n) ? 2 : 1;
-            }
-            if (i < n && src[i] == '\'') ++i;
-            out.code_lines.insert(line);
-            continue;
-        }
-        // Identifier / keyword (and raw-string detection).
-        if (is_ident_start(c)) {
-            std::size_t j = i + 1;
-            while (j < n && is_ident_char(src[j])) ++j;
-            std::string id(src.substr(i, j - i));
-            if (is_raw_prefix(id) && j < n && src[j] == '"') {
-                // R"delim( ... )delim"
-                std::size_t p = j + 1;
-                std::string delim;
-                while (p < n && src[p] != '(') delim += src[p++];
-                const std::string closer = ")" + delim + "\"";
-                std::size_t end = src.find(closer, p);
-                if (end == std::string_view::npos) end = n;
-                const std::string_view body = src.substr(i, std::min(end + closer.size(), n) - i);
-                out.tokens.push_back({TokKind::kString, std::string(body), line});
-                out.code_lines.insert(line);
-                line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-                i = std::min(end + closer.size(), n);
-                continue;
-            }
-            out.tokens.push_back({TokKind::kIdentifier, std::move(id), line});
-            out.code_lines.insert(line);
-            i = j;
-            continue;
-        }
-        // Number (loose: suffixes, hex, separators, exponents).
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            std::size_t j = i + 1;
-            while (j < n && (is_ident_char(src[j]) || src[j] == '.' || src[j] == '\'')) ++j;
-            out.tokens.push_back({TokKind::kNumber, std::string(src.substr(i, j - i)), line});
-            out.code_lines.insert(line);
-            i = j;
-            continue;
-        }
-        // Punctuation; `::` and `->` kept whole, everything else single-char.
-        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-            out.tokens.push_back({TokKind::kPunct, "::", line});
-            out.code_lines.insert(line);
-            i += 2;
-            continue;
-        }
-        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-            out.tokens.push_back({TokKind::kPunct, "->", line});
-            out.code_lines.insert(line);
-            i += 2;
-            continue;
-        }
-        out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
-        out.code_lines.insert(line);
-        ++i;
-    }
-    return out;
-}
 
 // ---------------------------------------------------------------------------
 // Small helpers over the token stream and rule tables.
@@ -227,62 +74,6 @@ std::vector<Include> find_includes(const Lexed& lx) {
                 path += t[j].text;
             }
             out.push_back({arg.line, std::move(path), /*quoted=*/false});
-        }
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions (rule id in parentheses, mandatory reason after a colon; see
-// the worked example at the top of lint_rules.hpp).
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-    std::map<int, std::set<std::string>> by_line;
-    std::vector<Finding> malformed;  // bad-suppression findings (never suppressible)
-};
-
-Suppressions parse_suppressions(const Lexed& lx) {
-    Suppressions out;
-    constexpr std::string_view kMarker = "newtop-lint:";
-    constexpr std::string_view kAllow = "allow(";
-    for (const auto& [line, text] : lx.comments) {
-        std::size_t pos = text.find(kMarker);
-        if (pos == std::string::npos) continue;
-        // A comment sharing a line with code guards that line; a standalone
-        // comment guards the line below it.
-        const int target = lx.code_lines.count(line) != 0 ? line : line + 1;
-        bool any_wellformed = false;
-        const std::size_t malformed_before = out.malformed.size();
-        pos += kMarker.size();
-        while ((pos = text.find(kAllow, pos)) != std::string::npos) {
-            pos += kAllow.size();
-            const std::size_t close = text.find(')', pos);
-            if (close == std::string::npos) break;
-            const std::string rule = text.substr(pos, close - pos);
-            pos = close + 1;
-            // Mandatory reason: a colon followed by non-blank text.
-            std::size_t after = text.find_first_not_of(" \t", pos);
-            const bool has_reason = after != std::string::npos && text[after] == ':' &&
-                                    text.find_first_not_of(" \t", after + 1) != std::string::npos;
-            if (!in_table(kAllRules, rule)) {
-                out.malformed.push_back({"", line, std::string(kRuleBadSuppression),
-                                         "allow(" + rule + ") names no known rule"});
-                continue;
-            }
-            if (!has_reason) {
-                out.malformed.push_back(
-                    {"", line, std::string(kRuleBadSuppression),
-                     "allow(" + rule + ") needs a reason: // newtop-lint: allow(" + rule +
-                         "): <why this is safe>"});
-                continue;
-            }
-            out.by_line[target].insert(rule);
-            any_wellformed = true;
-        }
-        if (!any_wellformed && out.malformed.size() == malformed_before) {
-            out.malformed.push_back({"", line, std::string(kRuleBadSuppression),
-                                     "newtop-lint marker without a well-formed allow(<rule>)"});
         }
     }
     return out;
@@ -466,6 +257,37 @@ void check_layering(std::string_view rel_path, const std::vector<Include>& inclu
     }
 }
 
+/// Collect the scannable files under `repo_root`, sorted.
+std::vector<SourceFile> gather_sources(const std::filesystem::path& repo_root) {
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    for (std::string_view root : kScanRoots) {
+        const fs::path dir = repo_root / root;
+        if (!fs::is_directory(dir)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file()) continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+            std::string rel = fs::relative(entry.path(), repo_root).generic_string();
+            if (has_prefix_in(rel, kExcludedDirs)) continue;
+            paths.push_back(std::move(rel));
+        }
+    }
+    // Directory iteration order is filesystem-defined; the lint practises
+    // what it preaches and sorts.
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<SourceFile> out;
+    out.reserve(paths.size());
+    for (std::string& rel : paths) {
+        std::ifstream in(repo_root / rel, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        out.push_back({std::move(rel), buf.str()});
+    }
+    return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -488,6 +310,7 @@ std::vector<Finding> scan_source(std::string_view rel_path, std::string_view con
     check_float(rel_path, lx.tokens, raw);
     check_metric_names(rel_path, lx.tokens, raw);
     check_layering(rel_path, find_includes(lx), raw);
+    for (Finding& f : check_hot_alloc(rel_path, content)) raw.push_back(std::move(f));
 
     std::vector<Finding> out;
     for (Finding& f : raw) {
@@ -504,41 +327,41 @@ std::vector<Finding> scan_source(std::string_view rel_path, std::string_view con
 }
 
 std::vector<Finding> scan_tree(const std::filesystem::path& repo_root) {
-    namespace fs = std::filesystem;
-    std::vector<Finding> out;
+    return scan_tree_report(repo_root).findings;
+}
+
+TreeReport scan_tree_report(const std::filesystem::path& repo_root) {
+    TreeReport report;
+    for (const std::string_view rule : kAllRules) report.suppressions[std::string(rule)] = 0;
 
     std::string table_error;
     if (!layer_table_is_valid(&table_error)) {
-        out.push_back({"tools/lint_rules.hpp", 1, std::string(kRuleLayerDag), table_error});
-        return out;
+        report.findings.push_back(
+            {"tools/lint_rules.hpp", 1, std::string(kRuleLayerDag), table_error});
+        return report;
     }
 
-    std::vector<std::string> files;
-    for (std::string_view root : kScanRoots) {
-        const fs::path dir = repo_root / root;
-        if (!fs::is_directory(dir)) continue;
-        for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-            if (!entry.is_regular_file()) continue;
-            const std::string ext = entry.path().extension().string();
-            if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
-            std::string rel = fs::relative(entry.path(), repo_root).generic_string();
-            if (has_prefix_in(rel, kExcludedDirs)) continue;
-            files.push_back(std::move(rel));
+    const std::vector<SourceFile> files = gather_sources(repo_root);
+    for (const SourceFile& f : files) {
+        std::vector<Finding> file_findings = scan_source(f.rel_path, f.content);
+        report.findings.insert(report.findings.end(),
+                               std::make_move_iterator(file_findings.begin()),
+                               std::make_move_iterator(file_findings.end()));
+        const Suppressions sup = parse_suppressions(lex(f.content));
+        for (const auto& [line, rules] : sup.by_line) {
+            for (const std::string& rule : rules) ++report.suppressions[rule];
         }
     }
-    // Directory iteration order is filesystem-defined; the lint practises
-    // what it preaches and sorts.
-    std::sort(files.begin(), files.end());
 
-    for (const std::string& rel : files) {
-        std::ifstream in(repo_root / rel, std::ios::binary);
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        std::vector<Finding> file_findings = scan_source(rel, buf.str());
-        out.insert(out.end(), std::make_move_iterator(file_findings.begin()),
-                   std::make_move_iterator(file_findings.end()));
-    }
-    return out;
+    std::vector<Finding> semantic = run_semantic_passes(files);
+    report.findings.insert(report.findings.end(), std::make_move_iterator(semantic.begin()),
+                           std::make_move_iterator(semantic.end()));
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    return report;
 }
 
 bool layer_table_is_valid(std::string* error) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <filesystem>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,19 @@ std::vector<Finding> scan_source(std::string_view rel_path, std::string_view con
 /// of `repo_root`, excluding kExcludedDirs.  File order — and therefore
 /// finding order — is sorted, so output is stable across filesystems.
 std::vector<Finding> scan_tree(const std::filesystem::path& repo_root);
+
+/// Whole-tree scan result: the per-file token rules *and* the cross-file
+/// semantic passes (lint_passes.hpp), plus a census of every well-formed
+/// allow(rule) suppression comment in scanned files.  The
+/// census backs the tracked baseline (tools/lint_suppressions.baseline):
+/// CI fails when a rule's suppression count grows without the baseline
+/// being regenerated in the same diff.
+struct TreeReport {
+    std::vector<Finding> findings;               // sorted by (file, line, rule)
+    std::map<std::string, int> suppressions;     // rule id -> active suppression count
+};
+
+TreeReport scan_tree_report(const std::filesystem::path& repo_root);
 
 /// Self-check: the declared layer dependency table must be a DAG and every
 /// named dependency must itself be a declared layer.
