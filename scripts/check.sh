@@ -67,7 +67,8 @@ if [[ "${BENCH_ONLY}" == 1 ]]; then
     echo "== bench (build)"
     cmake -B build -S . >/dev/null
     cmake --build build -j "${JOBS}" \
-        --target bench_saturation bench_latency_breakdown bench_reconfig newtop_prof
+        --target bench_saturation bench_latency_breakdown bench_reconfig \
+        bench_gray_failure newtop_prof
     rm -rf build/bench_traces
     echo "== bench_saturation (run)"
     NEWTOP_BENCH_OUT=build/BENCH_saturation.json \
@@ -80,6 +81,9 @@ if [[ "${BENCH_ONLY}" == 1 ]]; then
     echo "== bench_reconfig (run)"
     NEWTOP_BENCH_OUT=build/BENCH_reconfig.json \
         build/bench/bench_reconfig
+    echo "== bench_gray_failure (run)"
+    NEWTOP_BENCH_OUT=build/BENCH_gray_failure.json \
+        build/bench/bench_gray_failure
     echo "== newtop_prof reconciliation gate"
     mkdir -p build/prof_reports
     for dump in build/bench_traces/*.trace.json; do
@@ -91,10 +95,12 @@ if [[ "${BENCH_ONLY}" == 1 ]]; then
     python3 scripts/bench_diff.py build/BENCH_saturation.json
     python3 scripts/bench_diff.py build/BENCH_latency_breakdown.json
     python3 scripts/bench_diff.py build/BENCH_reconfig.json
+    python3 scripts/bench_diff.py build/BENCH_gray_failure.json
     cp build/BENCH_saturation.json BENCH_saturation.json
     cp build/BENCH_latency_breakdown.json BENCH_latency_breakdown.json
     cp build/BENCH_reconfig.json BENCH_reconfig.json
-    echo "== bench artifacts refreshed (BENCH_saturation.json, BENCH_latency_breakdown.json, BENCH_reconfig.json)"
+    cp build/BENCH_gray_failure.json BENCH_gray_failure.json
+    echo "== bench artifacts refreshed (BENCH_saturation.json, BENCH_latency_breakdown.json, BENCH_reconfig.json, BENCH_gray_failure.json)"
     exit 0
 fi
 
@@ -134,6 +140,12 @@ run_tree() {
         if ! "${dir}/tools/newtop_fuzz" --seeds "${CAMPAIGN_SEEDS}" --base 1000000 --reconfig; then
             echo "!! reconfig campaign failed in ${dir}; replay the seed printed above with:"
             echo "!!     NEWTOP_FUZZ_SEED=<seed> NEWTOP_FUZZ_RECONFIG=1 ${dir}/tools/newtop_fuzz"
+            exit 1
+        fi
+        echo "== chaos campaign ${dir} (${CAMPAIGN_SEEDS} seeds, gray-failure-enabled)"
+        if ! "${dir}/tools/newtop_fuzz" --seeds "${CAMPAIGN_SEEDS}" --base 2000000 --gray; then
+            echo "!! gray campaign failed in ${dir}; replay the seed printed above with:"
+            echo "!!     NEWTOP_FUZZ_SEED=<seed> NEWTOP_FUZZ_GRAY=1 ${dir}/tools/newtop_fuzz"
             exit 1
         fi
     fi

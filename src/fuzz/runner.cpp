@@ -1,5 +1,6 @@
 #include "fuzz/runner.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <utility>
@@ -302,6 +303,37 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
                                       [&net] { net.set_extra_loss(0.0); });
                 break;
             }
+            case FaultSpec::Kind::kSlowNode: {
+                ServerRt& server = *servers[static_cast<std::size_t>(
+                    scenario.server_actor(fault.a, fault.b))];
+                NodeId node = server.mgr->node_id();
+                const double factor = fault.loss;
+                scheduler.schedule_at(at,
+                                      [&net, node, factor] { net.set_cpu_slowdown(node, factor); });
+                scheduler.schedule_at(at + static_cast<SimDuration>(fault.duration_us),
+                                      [&net, node] { net.set_cpu_slowdown(node, 1.0); });
+                break;
+            }
+            case FaultSpec::Kind::kLinkDegrade: {
+                const SiteId sa(static_cast<SiteId::rep_type>(fault.a));
+                const SiteId sb(static_cast<SiteId::rep_type>(fault.b));
+                LinkDegrade degrade;
+                degrade.extra_latency = static_cast<SimDuration>(fault.extra_us);
+                degrade.extra_jitter = static_cast<SimDuration>(fault.extra_us / 4);
+                degrade.extra_loss = fault.loss;
+                scheduler.schedule_at(
+                    at, [&net, sa, sb, degrade] { net.set_link_degrade(sa, sb, degrade); });
+                scheduler.schedule_at(at + static_cast<SimDuration>(fault.duration_us),
+                                      [&net, sa, sb] { net.clear_link_degrade(sa, sb); });
+                break;
+            }
+            case FaultSpec::Kind::kFlap:
+                // schedule_flap lays out every transition up front; the last
+                // one always rejoins the site, so flaps are self-healing.
+                net.schedule_flap(SiteId(static_cast<SiteId::rep_type>(fault.a)), at, fault.b,
+                                  static_cast<SimDuration>(fault.extra_us),
+                                  static_cast<SimDuration>(fault.extra_us), /*cell=*/9);
+                break;
             case FaultSpec::Kind::kReconfigure: {
                 // Resolved at fire time: the first live, installed replica of
                 // the service proposes a runtime switch of the group's
@@ -396,6 +428,37 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
                 "recovery: server actor " + std::to_string(idx) + " (endpoint " +
                 std::to_string(rt.mgr->endpoint().value()) +
                 ") restarted but never rejoined its server group");
+        }
+    }
+    // Gray-failure stability: slowdowns, sick links and flaps all end, and
+    // none of them kills a process — so after the drain every service with
+    // a live replica must still have at least one replica serving.  A
+    // suspicion/rejoin livelock (the detector ejecting slow-but-alive
+    // members faster than they can come back) shows up here.
+    const bool has_gray = std::any_of(
+        scenario.faults.begin(), scenario.faults.end(), [](const FaultSpec& f) {
+            return f.kind == FaultSpec::Kind::kSlowNode ||
+                   f.kind == FaultSpec::Kind::kLinkDegrade || f.kind == FaultSpec::Kind::kFlap;
+        });
+    if (has_gray) {
+        for (std::size_t j = 0; j < scenario.services.size(); ++j) {
+            const std::string name = service_name(static_cast<int>(j));
+            const int replicas =
+                static_cast<int>(scenario.services[j].server_sites.size());
+            bool any_live = false;
+            bool any_serving = false;
+            for (int k = 0; k < replicas; ++k) {
+                const ServerRt& rt = *servers[static_cast<std::size_t>(
+                    scenario.server_actor(static_cast<int>(j), k))];
+                if (net.node(rt.mgr->node_id()).crashed()) continue;
+                any_live = true;
+                if (rt.mgr->nso().invocation().serving(name)) any_serving = true;
+            }
+            if (any_live && !any_serving) {
+                result.liveness_failures.push_back(
+                    "gray: service " + name +
+                    " has live replicas but none serving after the faults cleared");
+            }
         }
     }
     if (options.keep_trace) result.trace = std::move(events);

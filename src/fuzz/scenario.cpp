@@ -46,6 +46,9 @@ const char* fault_kind_name(FaultSpec::Kind kind) {
         case FaultSpec::Kind::kLossBurst: return "loss_burst";
         case FaultSpec::Kind::kRestart: return "restart_server";
         case FaultSpec::Kind::kReconfigure: return "reconfigure";
+        case FaultSpec::Kind::kSlowNode: return "slow_node";
+        case FaultSpec::Kind::kLinkDegrade: return "link_degrade";
+        case FaultSpec::Kind::kFlap: return "flap";
     }
     return "?";
 }
@@ -122,7 +125,8 @@ std::string to_json(const Scenario& scenario) {
                "\",\"at_us\":" + std::to_string(fault.at_us) +
                ",\"a\":" + std::to_string(fault.a) + ",\"b\":" + std::to_string(fault.b) +
                ",\"loss\":" + std::to_string(fault.loss) +
-               ",\"duration_us\":" + std::to_string(fault.duration_us) + "}";
+               ",\"duration_us\":" + std::to_string(fault.duration_us) +
+               ",\"extra_us\":" + std::to_string(fault.extra_us) + "}";
     }
 
     out += "],\"settle_us\":" + std::to_string(scenario.settle_us) +
@@ -307,6 +311,59 @@ Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
                 fault.b = rng.next_bool(0.5) ? 0 : 1;
                 s.faults.push_back(fault);
             }
+            std::stable_sort(s.faults.begin(), s.faults.end(), [](const FaultSpec& x,
+                                                                  const FaultSpec& y) {
+                return x.at_us < y.at_us;
+            });
+        }
+    }
+
+    // -- gray failures -------------------------------------------------------
+    // Degraded-but-alive faults, drawn after everything else (and gated by
+    // the flag) so legacy seeds stay byte-identical with the flag off.
+    if (limits_.allow_gray && limits_.max_gray > 0) {
+        const int grays =
+            static_cast<int>(rng.next_in(0, static_cast<std::uint64_t>(limits_.max_gray)));
+        bool any_gray = false;
+        for (int f = 0; f < grays; ++f) {
+            FaultSpec fault;
+            fault.at_us = rng.next_in(0, s.run_us);
+            const double roll = rng.next_double();
+            if (roll < 0.40) {
+                // Slow-but-alive replica: 1.5x .. 8x CPU slowdown.  The φ
+                // detector should keep it in the view; the fixed detector
+                // would have ejected it at the high end.
+                const int j = static_cast<int>(rng.next_in(0, s.services.size() - 1));
+                const int replicas =
+                    static_cast<int>(s.services[static_cast<std::size_t>(j)].server_sites.size());
+                fault.kind = FaultSpec::Kind::kSlowNode;
+                fault.a = j;
+                fault.b = static_cast<int>(
+                    rng.next_in(0, static_cast<std::uint64_t>(replicas - 1)));
+                fault.loss = static_cast<double>(rng.next_in(15, 80)) / 10.0;
+                fault.duration_us = rng.next_in(1000, 5000) * 1000;
+            } else if (roll < 0.75) {
+                // Sick link: added latency + jitter + loss between two sites
+                // (possibly the same site's LAN).
+                fault.kind = FaultSpec::Kind::kLinkDegrade;
+                fault.a = random_site();
+                fault.b = random_site();
+                fault.extra_us = rng.next_in(500, 20'000);
+                fault.loss = static_cast<double>(rng.next_in(0, 150)) / 1000.0;
+                fault.duration_us = rng.next_in(500, 4000) * 1000;
+            } else {
+                if (s.sites < 2) continue;
+                // Flapping connectivity: the site bounces in and out a few
+                // times, always ending connected.
+                fault.kind = FaultSpec::Kind::kFlap;
+                fault.a = random_site();
+                fault.b = static_cast<int>(rng.next_in(2, 5));
+                fault.extra_us = rng.next_in(300, 1500) * 1000;
+            }
+            s.faults.push_back(fault);
+            any_gray = true;
+        }
+        if (any_gray) {
             std::stable_sort(s.faults.begin(), s.faults.end(), [](const FaultSpec& x,
                                                                   const FaultSpec& y) {
                 return x.at_us < y.at_us;

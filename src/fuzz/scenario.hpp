@@ -81,6 +81,17 @@ struct PeerSpec {
 ///   kReconfigure   : a = service index, b = target order (0 = asymmetric,
 ///                    1 = symmetric) — a live replica proposes a runtime
 ///                    reconfiguration of its server group mid-run
+///   kSlowNode      : a = service index, b = replica index — gray failure:
+///                    the replica's host runs all CPU work `loss`× slower
+///                    (slowdown factor, >= 1) for `duration_us`, then
+///                    returns to nominal speed.  The process never dies.
+///   kLinkDegrade   : a, b = sites (a == b degrades the intra-site LAN) —
+///                    `extra_us` added latency (plus a quarter of it as
+///                    jitter) and `loss` extra drop probability on that
+///                    link for `duration_us`
+///   kFlap          : a = site, b = flap cycles — the site repeatedly
+///                    partitions away for `extra_us` and rejoins for
+///                    `extra_us`, ending connected
 struct FaultSpec {
     enum class Kind : std::uint8_t {
         kCrashServer = 0,
@@ -90,13 +101,20 @@ struct FaultSpec {
         kLossBurst = 4,
         kRestart = 5,
         kReconfigure = 6,
+        kSlowNode = 7,
+        kLinkDegrade = 8,
+        kFlap = 9,
     };
     Kind kind{Kind::kCrashServer};
     std::uint64_t at_us{0};  // relative to workload start
     int a{0};
     int b{0};
+    /// kLossBurst / kLinkDegrade: extra drop probability.
+    /// kSlowNode: CPU slowdown factor (>= 1.0).
     double loss{0.0};
     std::uint64_t duration_us{0};
+    /// kLinkDegrade: added one-way latency; kFlap: half-period.
+    std::uint64_t extra_us{0};
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultSpec::Kind kind);
@@ -145,6 +163,12 @@ struct ScenarioLimits {
     /// keep generating byte-identical scenarios; campaigns opt in.
     bool allow_reconfigs{false};
     int max_reconfigs{3};
+    /// Sprinkle gray failures (kSlowNode / kLinkDegrade / kFlap): hosts
+    /// that are slow but alive, links that are sick but up, connectivity
+    /// that flaps.  Off by default for the same seed-stability reason as
+    /// allow_reconfigs; the gray campaign opts in.
+    bool allow_gray{false};
+    int max_gray{3};
 };
 
 /// Samples one full Scenario from a seed.  Pure function of

@@ -40,6 +40,18 @@ OrderMsg decode_order_payload(const DataMsg& msg) {
     return order;
 }
 
+/// Creation- and proposal-time configuration sanity.  The one that bites in
+/// practice: a view-change round must be allowed strictly more time than
+/// the suspicion timeout, or the coordinator gets suspected by followers
+/// while its round is still legitimately collecting flushes.
+void validate_config(const GroupConfig& config) {
+    NEWTOP_EXPECTS(config.suspicion_timeout > 0, "suspicion_timeout must be positive");
+    NEWTOP_EXPECTS(config.view_change_timeout > config.suspicion_timeout,
+                   "view_change_timeout must exceed suspicion_timeout");
+    NEWTOP_EXPECTS(config.phi_floor >= 0, "phi_floor must be non-negative");
+    NEWTOP_EXPECTS(config.phi_ceiling >= 0, "phi_ceiling must be non-negative");
+}
+
 }  // namespace
 
 /// The endpoint's ORB-visible object; peers invoke its single "deliver"
@@ -106,6 +118,16 @@ GroupCommEndpoint::GroupCommEndpoint(Orb& orb, Directory& directory)
         }));
 }
 
+void GroupCommEndpoint::ensure_phi_gauge(EndpointId peer) {
+    if (!phi_gauge_peers_.insert(peer).second) return;
+    // Composed at runtime like the per-link counters; one gauge per peer
+    // this endpoint has ever heard from, torn down with the other gauges.
+    const std::string name =
+        std::string(obs::metric::kGcsPhiPrefix) + std::to_string(peer.value());
+    gauges_.push_back(gauge_registry_->register_gauge(
+        name, [this, peer](SimTime at) { return sample_phi_milli(peer, at); }));
+}
+
 GroupCommEndpoint::~GroupCommEndpoint() {
     // The registry outlives every endpoint (it is owned by the network);
     // crash-recovery rebuilds endpoints, so a stale gauge here would read
@@ -162,6 +184,21 @@ GroupCommEndpoint::GroupStats GroupCommEndpoint::group_stats(GroupId group) cons
         case OrderMode::kCausal: stats.holdback = g->causal.pending_count(); break;
     }
     return stats;
+}
+
+std::size_t GroupCommEndpoint::pending_load() const {
+    std::size_t load = 0;
+    for (const auto& [id, g] : groups_) {
+        switch (g.config.order) {
+            case OrderMode::kTotalSymmetric: load += g.symmetric.pending_count(); break;
+            case OrderMode::kTotalAsymmetric: load += g.sequencer.pending_count(); break;
+            case OrderMode::kCausal: load += g.causal.pending_count(); break;
+        }
+        load += g.blocked_sends.size();
+        load += g.coalesce_queue.size();
+        load += g.release_queue.size();
+    }
+    return load;
 }
 
 // -- wiring ---------------------------------------------------------------------
@@ -237,6 +274,7 @@ void GroupCommEndpoint::multicast_wire(const Group& g, const GcsMessage& msg) {
 // -- group management entry points -------------------------------------------
 
 GroupId GroupCommEndpoint::create_group(const std::string& name, const GroupConfig& config) {
+    validate_config(config);
     const GroupId id = directory_->register_group(name, config, id_);
     Group& g = groups_[id];
     g.id = id;
@@ -297,6 +335,7 @@ void GroupCommEndpoint::multicast(GroupId group, Bytes payload, obs::SpanContext
 }
 
 void GroupCommEndpoint::reconfigure(GroupId group, const GroupConfig& next) {
+    validate_config(next);
     Group* g = find_group(group);
     NEWTOP_EXPECTS(g != nullptr, "unknown group");
     NEWTOP_EXPECTS(g->installed || g->state == Group::State::kViewChange,
@@ -484,8 +523,35 @@ void GroupCommEndpoint::handle_data(DataMsg msg) {
     if (!g.view.contains(msg.sender)) return;  // ejected member's straggler
 
     auto& stream = g.inbound[msg.sender];
-    stream.last_heard = orb_->scheduler().now();
+    const SimTime heard_at = orb_->scheduler().now();
+    // Feed the φ-accrual history: one inter-arrival gap per arrival, but
+    // only gaps at heartbeat scale.  Sub-heartbeat gaps (ack nulls, the
+    // several messages of one protocol exchange) describe burst structure,
+    // not the peer's *pauses* — and pauses are what the silence model must
+    // predict.  Letting them in makes a healthy history bimodal (mean
+    // halves, σ explodes), which pushes the φ deadline past the fixed
+    // floor and delays crash detection for perfectly prompt peers.  The
+    // accrual literature samples heartbeat inter-arrivals for the same
+    // reason; time_silence is this group's heartbeat period.
+    const SimDuration min_gap = g.config.time_silence / 4;
+    if (stream.last_heard != 0 && heard_at > stream.last_heard + min_gap) {
+        if (stream.intervals.size() < kPhiWindow) {
+            stream.intervals.push_back(heard_at - stream.last_heard);
+        } else {
+            stream.intervals[stream.interval_next] = heard_at - stream.last_heard;
+            stream.interval_next = (stream.interval_next + 1) % kPhiWindow;
+        }
+    }
+    stream.last_heard = heard_at;
     g.received_since_send = true;
+    ensure_phi_gauge(msg.sender);
+    // A message from a peer we suspect refutes the suspicion: it was slow,
+    // not dead.  Classification only — the membership protocol still runs
+    // its course, so agreement never depends on this bookkeeping.
+    if (const auto sit = g.suspected_at.find(msg.sender); sit != g.suspected_at.end()) {
+        metrics().add(obs::metric::kGcsSuspicionFalse);
+        g.suspected_at.erase(sit);
+    }
 
     if (msg.kind == DataKind::kNull) {
         // The null advertises the sender's own send count; if we hold its

@@ -134,6 +134,12 @@ public:
     };
     [[nodiscard]] GroupStats group_stats(GroupId group) const;
 
+    /// Total queued work across all of this endpoint's groups: ordering
+    /// holdback plus payloads parked behind view changes or window credits.
+    /// The invocation layer reads it as an overload signal when deciding
+    /// whether to admit new client/server-group bindings.
+    [[nodiscard]] std::size_t pending_load() const;
+
 private:
     /// A payload waiting for a send credit (coalesce queue) or for a view
     /// change to finish (blocked_sends), with the span it keeps carrying.
@@ -154,7 +160,19 @@ private:
         /// message's seq + 1 (for cross-group knowledge barriers).
         Seqno delivered_app_count{0};
         TimerId nack_timer{0};
+        /// φ-accrual inter-arrival history: the most recent positive gaps
+        /// between this sender's messages (bounded ring, microseconds).
+        /// Cleared with the rest of the stream at each view install, so φ
+        /// always describes the current view's traffic pattern.
+        std::vector<SimDuration> intervals;
+        std::size_t interval_next{0};
     };
+
+    /// φ-accrual history bounds: how many inter-arrival gaps the detector
+    /// remembers per peer, and how many it needs before trusting the model
+    /// (below the minimum it falls back to the fixed suspicion_timeout).
+    static constexpr std::size_t kPhiWindow = 32;
+    static constexpr std::size_t kPhiMinSamples = 3;
 
     struct Group {
         GroupId id;
@@ -239,6 +257,11 @@ private:
         std::set<EndpointId> suspects;
         std::set<EndpointId> pending_joiners;
         std::set<EndpointId> pending_leavers;
+        /// Ground truth for the detector's scoreboard: when each live
+        /// suspicion was raised.  A later message from the suspect refutes
+        /// it (gcs.suspicion_false); a view removing a suspect still listed
+        /// here confirms it (gcs.suspicion_true).
+        std::map<EndpointId, SimTime> suspected_at;
 
         // view-change round
         ViewEpoch vc_epoch{0};
@@ -317,6 +340,18 @@ private:
                                 const std::vector<std::pair<EndpointId, Seqno>>& counts);
     void recompute_stability(Group& g);
     [[nodiscard]] std::vector<std::pair<EndpointId, Seqno>> received_counts(const Group& g) const;
+    /// φ-accrual suspicion level of `silence` against the stream's history
+    /// (0 when the history is too thin to model).
+    [[nodiscard]] static double phi_of(const InboundStream& stream, SimDuration silence);
+    /// The detector's verdict for one peer: fixed-timeout when accrual is
+    /// disabled or the history too thin, otherwise the φ rule bounded by
+    /// the floor (= suspicion_timeout by default) and ceiling.
+    [[nodiscard]] static bool suspicion_due(const GroupConfig& config,
+                                            const InboundStream* stream, SimDuration silence);
+    /// Lazily register the sampled "gcs.phi.<peer>" gauge for a peer.
+    void ensure_phi_gauge(EndpointId peer);
+    /// Max milli-φ for `peer` across this endpoint's groups at time `at`.
+    [[nodiscard]] std::uint64_t sample_phi_milli(EndpointId peer, SimTime at) const;
 
     // -- membership (endpoint_membership.cpp) -------------------------------------
     void install_first_view(Group& g);
@@ -362,6 +397,9 @@ private:
     /// by the network, outlives every endpoint generation).
     obs::MetricsRegistry* gauge_registry_{nullptr};
     std::vector<obs::GaugeHandle> gauges_;
+    /// Peers whose "gcs.phi.<peer>" gauge is already registered (handles
+    /// live in gauges_ and unregister with the rest).
+    std::set<EndpointId> phi_gauge_peers_;
 
     std::map<GroupId, Group> groups_;
     /// Cross-group causal knowledge: (group, sender) -> (epoch, count).

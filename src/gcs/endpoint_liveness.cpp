@@ -8,7 +8,9 @@
 #include "gcs/endpoint.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -145,6 +147,72 @@ void GroupCommEndpoint::on_progress_timer(GroupId id) {
     kick_liveness(*g);
 }
 
+// -- φ-accrual failure detection (Hayashibara et al., SRDS 2004) ----------------
+//
+// Instead of one fixed silence deadline for every peer, the detector models
+// each peer's inter-arrival history and asks how improbable the current
+// silence is under it.  The suspicion level φ = -log10 P(silence this long
+// | history); crossing the configured threshold raises the suspicion.  Two
+// bounds keep it sane: the fixed suspicion_timeout stays the *floor* (tight
+// histories detect a crash exactly as fast as the paper's fixed detector),
+// and a ceiling caps how long a chaotic history can defer detection.
+
+double GroupCommEndpoint::phi_of(const InboundStream& stream, SimDuration silence) {
+    if (stream.intervals.size() < kPhiMinSamples) return 0.0;
+    double sum = 0.0;
+    for (const SimDuration gap : stream.intervals) sum += static_cast<double>(gap);
+    const double mean = sum / static_cast<double>(stream.intervals.size());
+    double var = 0.0;
+    for (const SimDuration gap : stream.intervals) {
+        const double d = static_cast<double>(gap) - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(stream.intervals.size());
+    // Keep the deviation from collapsing on metronomic histories: a floor
+    // of mean/8 (and 1 ms absolute) keeps φ finite and sensibly sharp.
+    const double sigma = std::max({std::sqrt(var), mean / 8.0, 1000.0});
+    const double y = (static_cast<double>(silence) - mean) / sigma;
+    if (y <= 0.0) return 0.0;
+    // Logistic approximation of the normal tail (the one Akka's accrual
+    // detector uses): monotone in y and accurate to the precision φ needs.
+    const double e = std::exp(-y * (1.5976 + 0.070566 * y * y));
+    return -std::log10(e / (1.0 + e));
+}
+
+bool GroupCommEndpoint::suspicion_due(const GroupConfig& config, const InboundStream* stream,
+                                      SimDuration silence) {
+    const SimDuration floor =
+        config.phi_floor > 0 ? config.phi_floor : config.suspicion_timeout;
+    if (silence <= floor) return false;
+    // Accrual disabled, or not enough history to model the peer: the floor
+    // is the whole deadline — the paper's fixed-timeout detector.
+    if (config.phi_threshold_milli == 0 || stream == nullptr ||
+        stream->intervals.size() < kPhiMinSamples) {
+        return true;
+    }
+    const SimDuration ceiling =
+        config.phi_ceiling > 0 ? config.phi_ceiling : 10 * config.suspicion_timeout;
+    if (silence > ceiling) return true;
+    return phi_of(*stream, silence) * 1000.0 >=
+           static_cast<double>(config.phi_threshold_milli);
+}
+
+std::uint64_t GroupCommEndpoint::sample_phi_milli(EndpointId peer, SimTime at) const {
+    // A peer can be watched in several groups; report the most alarmed view
+    // of it (groups share the wire, so the histories rarely disagree much).
+    double max_phi = 0.0;
+    for (const auto& [id, g] : groups_) {
+        if (!g.installed || !g.view.contains(peer)) continue;
+        const auto it = g.inbound.find(peer);
+        if (it == g.inbound.end()) continue;
+        const SimTime last =
+            std::max({it->second.last_heard, g.view_installed_at, g.active_since});
+        if (at <= last) continue;
+        max_phi = std::max(max_phi, phi_of(it->second, at - last));
+    }
+    return static_cast<std::uint64_t>(max_phi * 1000.0);
+}
+
 void GroupCommEndpoint::on_suspicion_scan(GroupId id) {
     if (process_crashed()) return;
     Group* g = find_group(id);
@@ -156,15 +224,17 @@ void GroupCommEndpoint::on_suspicion_scan(GroupId id) {
         for (const EndpointId member : g->view.members) {
             if (member == id_ || g->suspects.contains(member)) continue;
             const auto it = g->inbound.find(member);
+            const InboundStream* stream = it == g->inbound.end() ? nullptr : &it->second;
             const SimTime last =
-                std::max({it == g->inbound.end() ? 0 : it->second.last_heard,
+                std::max({stream == nullptr ? 0 : stream->last_heard,
                           g->view_installed_at, g->active_since});
-            if (now - last > g->config.suspicion_timeout) {
+            if (suspicion_due(g->config, stream, now - last)) {
                 NEWTOP_DEBUG("suspicion scan: ep " << id_ << " group " << g->id << " member "
                                                    << member << " now=" << now << " last=" << last
                                                    << " active_since=" << g->active_since
                                                    << " unstable=" << g->unstable.size()
                                                    << " holdback=" << g->release_queue.size());
+                metrics().observe(obs::metric::kGcsDetectionLatencyUs, now - last);
                 note_suspect(*g, member, /*broadcast=*/true);
             }
         }

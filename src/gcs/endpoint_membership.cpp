@@ -158,6 +158,10 @@ void GroupCommEndpoint::handle_leave(const LeaveReq& msg) {
 void GroupCommEndpoint::note_suspect(Group& g, EndpointId suspect, bool broadcast) {
     if (suspect == id_ || !g.view.contains(suspect)) return;
     if (!g.suspects.insert(suspect).second) return;
+    const SimTime now = orb_->scheduler().now();
+    g.suspected_at.emplace(suspect, now);
+    metrics().trace(obs::TraceKind::kSuspected, now, id_.value(), g.id.value(),
+                    suspect.value());
     NEWTOP_DEBUG("endpoint " << id_ << " suspects " << suspect << " in group " << g.id);
     if (broadcast) {
         multicast_wire(g, SuspectMsg{g.id, g.view.epoch, id_, {suspect}});
@@ -498,6 +502,17 @@ void GroupCommEndpoint::install_view(Group& g, const InstallMsg& msg) {
     for (const EndpointId m : old_members) {
         if (!g.view.contains(m) && g.suspects.contains(m)) directory_->evict_endpoint(m);
     }
+
+    // Detector scoreboard: a suspect this view removed that was never heard
+    // from after the suspicion was a real failure (a later message would
+    // have refuted the entry in handle_data).
+    for (const EndpointId m : old_members) {
+        if (!g.view.contains(m) && g.suspected_at.contains(m)) {
+            metrics().add(obs::metric::kGcsSuspicionTrue);
+        }
+    }
+    std::erase_if(g.suspected_at,
+                  [&](const auto& entry) { return !g.view.contains(entry.first); });
 
     // Suspicions and requests that the new view resolved are cleared.
     std::erase_if(g.suspects, [&](EndpointId m) { return !g.view.contains(m); });

@@ -97,6 +97,9 @@ void encode(Encoder& e, const GroupConfig& v) {
     e.put_u64(v.order_window);
     e.put_u64(v.order_max_batch);
     e.put_u64(v.adaptive_asym_threshold);
+    e.put_u64(v.phi_threshold_milli);
+    e.put_i64(v.phi_floor);
+    e.put_i64(v.phi_ceiling);
 }
 void decode(Decoder& d, GroupConfig& v) {
     const std::uint8_t order = d.get_u8();
@@ -117,6 +120,9 @@ void decode(Decoder& d, GroupConfig& v) {
     v.order_window = static_cast<std::size_t>(d.get_u64());
     v.order_max_batch = static_cast<std::size_t>(d.get_u64());
     v.adaptive_asym_threshold = static_cast<std::size_t>(d.get_u64());
+    v.phi_threshold_milli = d.get_u64();
+    v.phi_floor = d.get_i64();
+    v.phi_ceiling = d.get_i64();
 }
 
 void encode(Encoder& e, const ConfigChangeMsg& v) {

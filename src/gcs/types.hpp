@@ -103,6 +103,23 @@ struct GroupConfig {
     /// it (the OptSCORE-style adaptation; §2's flexibility made view-time).
     /// 0 disables the hook.  Ignored for kCausal groups.
     std::size_t adaptive_asym_threshold{0};
+    /// φ-accrual failure detection (Hayashibara et al., SRDS 2004): the
+    /// suspicion level φ of a peer's current silence, computed against the
+    /// peer's own inter-arrival history, must reach this threshold
+    /// (milli-φ; 8000 = φ 8.0) before a suspicion is raised.  The fixed
+    /// suspicion_timeout stays the *floor* — a peer is never suspected
+    /// earlier than it, so crash detection is never slower than the fixed
+    /// detector — and φ only extends the deadline for peers whose history
+    /// shows them slow-but-alive.  0 disables accrual: suspicion falls back
+    /// to the fixed timeout alone (the paper's original detector).
+    std::uint64_t phi_threshold_milli{8000};
+    /// Minimum silence before any suspicion, regardless of φ.  0 means
+    /// "use suspicion_timeout" (the compatible default).
+    SimDuration phi_floor{0};
+    /// Maximum silence tolerated however chaotic the history: at this much
+    /// silence the peer is suspected even if φ never crossed the threshold.
+    /// 0 means "use 10 x suspicion_timeout".
+    SimDuration phi_ceiling{0};
 
     friend bool operator==(const GroupConfig&, const GroupConfig&) = default;
 };

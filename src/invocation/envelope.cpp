@@ -59,6 +59,7 @@ void encode_body(Encoder& e, const RequestEnv& v) {
     e.put_u8(static_cast<std::uint8_t>(v.bind));
     e.put_u32(v.method);
     encode(e, v.args);
+    e.put_i64(v.deadline);
 }
 void decode_body(Decoder& d, RequestEnv& v) {
     decode(d, v.call);
@@ -69,6 +70,7 @@ void decode_body(Decoder& d, RequestEnv& v) {
     v.bind = checked_bind(d.get_u8());
     v.method = d.get_u32();
     decode(d, v.args);
+    v.deadline = d.get_i64();
 }
 
 void encode_body(Encoder& e, const ForwardEnv& v) {
@@ -79,6 +81,7 @@ void encode_body(Encoder& e, const ForwardEnv& v) {
     encode(e, v.manager);
     e.put_u32(v.method);
     encode(e, v.args);
+    e.put_i64(v.deadline);
 }
 void decode_body(Decoder& d, ForwardEnv& v) {
     decode(d, v.call);
@@ -88,6 +91,7 @@ void decode_body(Decoder& d, ForwardEnv& v) {
     decode(d, v.manager);
     v.method = d.get_u32();
     decode(d, v.args);
+    v.deadline = d.get_i64();
 }
 
 void encode_body(Encoder& e, const ReplyEnv& v) {

@@ -32,6 +32,11 @@ struct RequestEnv {
     BindMode bind{BindMode::kOpen};
     std::uint32_t method{0};
     Bytes args;
+    /// Absolute sim time after which the client has given up on this call
+    /// (stamped from the binding's call_timeout at each send; 0 = none).
+    /// Servers shed work for expired calls instead of burning CPU on
+    /// replies nobody is waiting for.
+    SimTime deadline{0};
 };
 
 /// Request manager -> server group (step (ii) of fig. 4).
@@ -43,6 +48,8 @@ struct ForwardEnv {
     EndpointId manager;  // who is collecting replies
     std::uint32_t method{0};
     Bytes args;
+    /// Client deadline carried over from the RequestEnv (0 = none).
+    SimTime deadline{0};
 };
 
 /// One server's reply.  Multicast within the server group (open mode,

@@ -3,6 +3,7 @@
 // service_server.cpp.
 #include "invocation/service.hpp"
 
+#include "obs/names.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -235,10 +236,31 @@ bool InvocationService::on_removed(GroupId group) {
     return served_index_.contains(group);
 }
 
+namespace {
+/// Bind-admission backpressure threshold: a server whose endpoint has this
+/// much queued GCS work (ordering holdback + parked sends, summed over all
+/// its groups) refuses new client/server-group invitations.  The refusal
+/// surfaces as an invite failure at the client, whose existing
+/// rebind/backoff machinery defers the bind — overload sheds the *new*
+/// load, never the calls already in flight.  Far above anything a healthy
+/// endpoint accumulates (order windows are tens of messages), so only a
+/// genuinely swamped server ever trips it.
+constexpr std::size_t kBindAdmissionLimit = 512;
+}  // namespace
+
 bool InvocationService::on_join_cs_request(const std::string& cs_name, GroupId server_group,
                                            EndpointId owner) {
     const auto it = served_index_.find(server_group);
     if (it == served_index_.end()) return false;  // we do not serve that group
+    const std::size_t load = endpoint_->pending_load();
+    if (load >= kBindAdmissionLimit) {
+        metrics().add(obs::metric::kInvBindShed);
+        metrics().trace(obs::TraceKind::kBindShed, orb_->scheduler().now(),
+                        endpoint_->id().value(), owner.value(), load);
+        NEWTOP_WARN("endpoint " << endpoint_->id() << ": overloaded (" << load
+                                << " queued), refusing bind from " << owner);
+        return false;
+    }
     const Directory::GroupInfo* info = directory_->find_group(cs_name);
     if (info == nullptr) return false;
     rm_index_[info->id] = ServedCsGroup{it->second, owner};

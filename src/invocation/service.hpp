@@ -211,7 +211,11 @@ private:
     void handle_forward(Served& served, const ForwardEnv& forward);
     void handle_server_reply(Served& served, const ReplyEnv& reply);
     void execute_and(Served& served, const CallId& call, std::uint32_t method, Bytes args,
-                     obs::SpanContext parent, std::function<void(ReplyEnv)> done);
+                     obs::SpanContext parent, SimTime deadline,
+                     std::function<void(ReplyEnv)> done);
+    /// True (and counted/traced) when the call's deadline has passed — the
+    /// client gave up already, so executing it only burns servant CPU.
+    bool shed_expired(const CallId& call, SimTime deadline, const obs::SpanContext& span);
     void send_aggregate(Served& served, const CallId& call, GroupId reply_group,
                         AggregateEnv aggregate);
     void maybe_finish_collection(Served& served, const CallId& call);

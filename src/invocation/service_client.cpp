@@ -468,10 +468,13 @@ void InvocationService::send_call(Binding& b, PendingCall call) {
     request.bind = b.options.mode;
     request.method = call.method;
     request.args = call.args;
+    const SimTime now = orb_->scheduler().now();
+    // Re-stamped on every send, so a retry after a rebind carries the fresh
+    // attempt's give-up time, not the original one.
+    request.deadline = b.options.call_timeout > 0 ? now + b.options.call_timeout : 0;
     const Bytes wire = encode_envelope(request);
     const GroupId target = b.cs_group;
 
-    const SimTime now = orb_->scheduler().now();
     if (call.issued_at < 0) {
         call.issued_at = now;
         metrics().add(obs::metric::kInvCallsSent);

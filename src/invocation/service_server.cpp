@@ -19,8 +19,19 @@ std::size_t InvocationService::reply_threshold(InvocationMode mode, std::size_t 
     return servers;
 }
 
+bool InvocationService::shed_expired(const CallId& call, SimTime deadline,
+                                     const obs::SpanContext& span) {
+    if (deadline <= 0) return false;
+    const SimTime now = orb_->scheduler().now();
+    if (now <= deadline) return false;
+    metrics().add(obs::metric::kInvShed);
+    metrics().trace(obs::TraceKind::kRequestShed, now, endpoint_->id().value(), span, 0,
+                    call.origin, call.seq);
+    return true;
+}
+
 void InvocationService::execute_and(Served& served, const CallId& call, std::uint32_t method,
-                                    Bytes args, obs::SpanContext parent,
+                                    Bytes args, obs::SpanContext parent, SimTime deadline,
                                     std::function<void(ReplyEnv)> done) {
     // The delivered request crosses the colocated boundary into the
     // application object (fig. 9's m3/m4) and consumes servant CPU.
@@ -41,7 +52,10 @@ void InvocationService::execute_and(Served& served, const CallId& call, std::uin
                     obs::pack_execution_detail(static_cast<std::uint64_t>(cost), call.seq));
     orb_->network().node(orb_->node_id()).cpu().execute(
         cost, [this, servant, call, method, args = std::move(args), done = std::move(done), self,
-               exec, parent] {
+               exec, parent, deadline] {
+            // Second shed gate: the call may have expired while queued
+            // behind other work on this (possibly slowed) node's CPU.
+            if (shed_expired(call, deadline, exec)) return;
             ReplyEnv reply;
             reply.call = call;
             reply.span = exec;
@@ -86,9 +100,12 @@ void InvocationService::handle_closed_request(Served& served, GroupId cs_group,
         if (cached->second.call.seq > request.call.seq) return;  // stale duplicate
     }
 
+    // First shed gate, at delivery: an expired request never even queues.
+    if (shed_expired(request.call, request.deadline, request.span)) return;
+
     const InvocationMode mode = request.mode;
     execute_and(served, request.call, request.method, request.args, request.span,
-                [this, &served, cs_group, mode](ReplyEnv reply) {
+                request.deadline, [this, &served, cs_group, mode](ReplyEnv reply) {
                     served.reply_cache[reply.call.origin] = reply;
                     if (mode == InvocationMode::kOneWay) return;
                     if (endpoint_->is_member(cs_group)) {
@@ -123,6 +140,10 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
         if (served.collecting.contains(request.call)) return;  // duplicate in flight
     }
 
+    // Expired before the manager even saw it (slow ordering, overload):
+    // shed instead of fanning a doomed call out to the whole server group.
+    if (shed_expired(request.call, request.deadline, request.span)) return;
+
     // This member becomes the call's request manager: open its manager span
     // as a child of the client span carried by the request.
     const obs::SpanContext manager_span{
@@ -139,6 +160,7 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
     forward.manager = endpoint_->id();
     forward.method = request.method;
     forward.args = request.args;
+    forward.deadline = request.deadline;
 
     if (request.mode == InvocationMode::kOneWay) {
         endpoint_->multicast(served.server_group, encode_envelope(forward), manager_span);
@@ -154,7 +176,7 @@ void InvocationService::handle_cs_request(Served& served, GroupId cs_group,
         forward.flags = kFlagNoReply;
         endpoint_->multicast(served.server_group, encode_envelope(forward), manager_span);
         execute_and(served, request.call, request.method, request.args, manager_span,
-                    [this, &served, cs_group, manager_span](ReplyEnv reply) {
+                    request.deadline, [this, &served, cs_group, manager_span](ReplyEnv reply) {
                         served.reply_cache[reply.call.origin] = reply;
                         metrics().add(obs::metric::kInvRmRepliesCollected);
                         metrics().trace(obs::TraceKind::kReplyCollected,
@@ -189,8 +211,9 @@ void InvocationService::handle_forward(Served& served, const ForwardEnv& forward
             cached->second.call.seq >= forward.call.seq) {
             return;
         }
+        if (shed_expired(forward.call, forward.deadline, forward.span)) return;
         execute_and(served, forward.call, forward.method, forward.args, forward.span,
-                    [&served](ReplyEnv reply) {
+                    forward.deadline, [&served](ReplyEnv reply) {
                         served.reply_cache[reply.call.origin] = reply;
                     });
         return;
@@ -209,9 +232,11 @@ void InvocationService::handle_forward(Served& served, const ForwardEnv& forward
         }
     }
 
+    if (shed_expired(forward.call, forward.deadline, forward.span)) return;
+
     const bool one_way = forward.mode == InvocationMode::kOneWay;
     execute_and(served, forward.call, forward.method, forward.args, forward.span,
-                [this, &served, one_way](ReplyEnv reply) {
+                forward.deadline, [this, &served, one_way](ReplyEnv reply) {
                     served.reply_cache[reply.call.origin] = reply;
                     if (one_way) return;
                     // Fig. 4(iii): each member multicasts its reply within

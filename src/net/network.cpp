@@ -76,9 +76,17 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
         metrics_.add(obs::metric::kNetWanMessages);
     }
 
-    // The extra-loss draw only happens while a burst is active, so runs
-    // without bursts consume an unchanged random stream.
-    if (rng_.next_bool(link.loss) || (extra_loss_ > 0.0 && rng_.next_bool(extra_loss_))) {
+    const LinkDegrade* degrade = nullptr;
+    if (!degraded_links_.empty()) {
+        const auto it = degraded_links_.find(ordered_sites(src.site(), dst.site()));
+        if (it != degraded_links_.end()) degrade = &it->second;
+    }
+
+    // The extra-loss and degrade draws only happen while a burst/overlay is
+    // active, so runs without them consume an unchanged random stream.
+    if (rng_.next_bool(link.loss) || (extra_loss_ > 0.0 && rng_.next_bool(extra_loss_)) ||
+        (degrade != nullptr && degrade->extra_loss > 0.0 &&
+         rng_.next_bool(degrade->extra_loss))) {
         ++stats_.messages_lost;
         metrics_.add(obs::metric::kNetMessagesLost);
         metrics_.add(counters.drops);
@@ -86,9 +94,15 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     }
 
     SimDuration delay = link.latency;
+    if (degrade != nullptr) delay += degrade->extra_latency;
     if (link.jitter > 0) delay += rng_.next_in_signed(0, link.jitter);
-    if (link.bytes_per_us > 0.0) {
-        delay += static_cast<SimDuration>(static_cast<double>(payload.size()) / link.bytes_per_us);
+    if (degrade != nullptr && degrade->extra_jitter > 0) {
+        delay += rng_.next_in_signed(0, degrade->extra_jitter);
+    }
+    double bandwidth = link.bytes_per_us;
+    if (degrade != nullptr) bandwidth *= degrade->bandwidth_factor;
+    if (bandwidth > 0.0) {
+        delay += static_cast<SimDuration>(static_cast<double>(payload.size()) / bandwidth);
     }
 
     // FIFO per (from, to): arrival may not precede the previous arrival.
@@ -170,5 +184,58 @@ void Network::partition_site(SiteId site, int cell) {
 void Network::heal() { std::fill(partition_cell_.begin(), partition_cell_.end(), 0); }
 
 void Network::set_extra_loss(double p) { extra_loss_ = std::clamp(p, 0.0, 1.0); }
+
+void Network::set_extra_loss(SiteId a, SiteId b, double p) {
+    LinkDegrade degrade;
+    if (const LinkDegrade* existing = link_degrade(a, b); existing != nullptr) {
+        degrade = *existing;
+    }
+    degrade.extra_loss = std::clamp(p, 0.0, 1.0);
+    set_link_degrade(a, b, degrade);
+}
+
+void Network::set_link_degrade(SiteId a, SiteId b, const LinkDegrade& degrade) {
+    NEWTOP_EXPECTS(a.value() < topology_.site_count() && b.value() < topology_.site_count(),
+                   "unknown site");
+    NEWTOP_EXPECTS(degrade.extra_latency >= 0 && degrade.extra_jitter >= 0,
+                   "degrade latency/jitter must be non-negative");
+    NEWTOP_EXPECTS(degrade.bandwidth_factor > 0.0 && degrade.bandwidth_factor <= 1.0,
+                   "bandwidth factor must be in (0, 1]");
+    NEWTOP_EXPECTS(degrade.extra_loss >= 0.0 && degrade.extra_loss <= 1.0,
+                   "extra loss must be a probability");
+    const auto key = ordered_sites(a, b);
+    if (degrade == LinkDegrade{}) {
+        degraded_links_.erase(key);
+    } else {
+        degraded_links_[key] = degrade;
+    }
+}
+
+void Network::clear_link_degrade(SiteId a, SiteId b) {
+    degraded_links_.erase(ordered_sites(a, b));
+}
+
+const LinkDegrade* Network::link_degrade(SiteId a, SiteId b) const {
+    const auto it = degraded_links_.find(ordered_sites(a, b));
+    return it == degraded_links_.end() ? nullptr : &it->second;
+}
+
+void Network::set_cpu_slowdown(NodeId id, double factor) {
+    node(id).cpu().set_slowdown(factor);
+}
+
+void Network::schedule_flap(SiteId site, SimTime start, int cycles, SimDuration isolated_for,
+                            SimDuration joined_for, int cell) {
+    NEWTOP_EXPECTS(site.value() < topology_.site_count(), "unknown site");
+    NEWTOP_EXPECTS(cycles >= 1, "flap schedule needs at least one cycle");
+    NEWTOP_EXPECTS(isolated_for > 0 && joined_for > 0, "degenerate flap periods");
+    NEWTOP_EXPECTS(cell != 0, "flap cell must differ from the connected cell");
+    SimTime at = start;
+    for (int c = 0; c < cycles; ++c) {
+        scheduler_->schedule_at(at, [this, site, cell] { partition_site(site, cell); });
+        scheduler_->schedule_at(at + isolated_for, [this, site] { partition_site(site, 0); });
+        at += isolated_for + joined_for;
+    }
+}
 
 }  // namespace newtop

@@ -22,6 +22,20 @@
 
 namespace newtop {
 
+/// Degraded-mode overlay for one link (gray-failure injection): added
+/// latency and jitter, an extra drop probability and a bandwidth throttle
+/// stacked on top of the topology's configured LinkParams while installed.
+/// A default-constructed overlay is a no-op and is never stored.
+struct LinkDegrade {
+    SimDuration extra_latency{0};
+    SimDuration extra_jitter{0};
+    double extra_loss{0.0};
+    /// Fraction of the nominal bandwidth still usable, in (0, 1].
+    double bandwidth_factor{1.0};
+
+    friend bool operator==(const LinkDegrade&, const LinkDegrade&) = default;
+};
+
 /// Aggregate traffic statistics, useful for comparing protocol overheads
 /// (e.g. symmetric-order null traffic vs. sequencer redirection).
 struct NetworkStats {
@@ -79,6 +93,36 @@ public:
     void set_extra_loss(double p);
     [[nodiscard]] double extra_loss() const { return extra_loss_; }
 
+    /// Per-link convenience form: an extra drop probability for exactly the
+    /// (a, b) link, independent of the global burst above.  Stored as a
+    /// LinkDegrade overlay; 0 with no other degradation clears it.
+    void set_extra_loss(SiteId a, SiteId b, double p);
+
+    // -- Gray-failure injection --------------------------------------------
+    // Degraded-but-alive faults: slow hosts, sick links and flapping
+    // connectivity.  All deterministic — the only randomness is the world
+    // Rng, and every degrade draw is gated on the fault being installed, so
+    // runs without gray faults consume an unchanged random stream.
+
+    /// Install (or replace) a degradation overlay on the (a, b) link; links
+    /// are directionless, and a == b degrades the site's intra-site LAN.  A
+    /// default-constructed (all no-op) overlay clears the entry.
+    void set_link_degrade(SiteId a, SiteId b, const LinkDegrade& degrade);
+    void clear_link_degrade(SiteId a, SiteId b);
+    [[nodiscard]] const LinkDegrade* link_degrade(SiteId a, SiteId b) const;
+
+    /// Scale the CPU cost of all work subsequently submitted on `id`'s host
+    /// (1.0 = nominal).  The factor survives crash/restart: slowness is a
+    /// property of the host, not the process.
+    void set_cpu_slowdown(NodeId id, double factor);
+
+    /// Deterministic flapping schedule: starting at `start`, move every
+    /// node of `site` into partition cell `cell` for `isolated_for`, back
+    /// into cell 0 for `joined_for`, repeated `cycles` times.  All
+    /// transitions are scheduled up front from the arguments alone.
+    void schedule_flap(SiteId site, SimTime start, int cycles, SimDuration isolated_for,
+                       SimDuration joined_for, int cell);
+
     [[nodiscard]] const Topology& topology() const { return topology_; }
     [[nodiscard]] const NetworkStats& stats() const { return stats_; }
     [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
@@ -105,10 +149,17 @@ private:
     };
     const LinkCounterNames& link_counters(SiteId from, SiteId to);
 
+    static std::pair<SiteId, SiteId> ordered_sites(SiteId a, SiteId b) {
+        return a < b ? std::pair{a, b} : std::pair{b, a};
+    }
+
     Scheduler* scheduler_;
     Topology topology_;
     Rng rng_;
     double extra_loss_{0.0};
+    // Installed degradation overlays, keyed by ordered site pair.  Empty in
+    // a healthy world, so the hot send path pays one branch.
+    std::map<std::pair<SiteId, SiteId>, LinkDegrade> degraded_links_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<int> partition_cell_;
     // Arrival time of the previous message per (from, to), for FIFO links.

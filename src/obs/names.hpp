@@ -77,6 +77,19 @@ inline constexpr std::string_view kGcsConfigEpoch = "gcs.config_epoch";
 /// Histogram: proposal delivery -> reconfigured view install, per member —
 /// the flush stall an in-flight reconfiguration imposes on the group.
 inline constexpr std::string_view kGcsReconfigStallUs = "gcs.reconfig_stall_us";
+/// Suspicions retroactively confirmed: the suspect was removed by a view
+/// without ever being heard from again after the suspicion was raised.
+inline constexpr std::string_view kGcsSuspicionTrue = "gcs.suspicion_true";
+/// Suspicions retroactively refuted: a message from the suspect arrived
+/// after the suspicion was raised — the peer was slow, not dead.
+inline constexpr std::string_view kGcsSuspicionFalse = "gcs.suspicion_false";
+/// Histogram: silence accrued when a suspicion was raised (last heard ->
+/// suspected), the detector's detection latency per suspicion.
+inline constexpr std::string_view kGcsDetectionLatencyUs = "gcs.detection_latency_us";
+/// Prefix for the per-peer φ-accrual suspicion-level gauges
+/// ("gcs.phi.<endpoint>", sampled in milli-φ); composed at runtime like the
+/// per-link counters above.
+inline constexpr std::string_view kGcsPhiPrefix = "gcs.phi.";
 
 // -- invocation ---------------------------------------------------------------
 inline constexpr std::string_view kInvRebinds = "invocation.rebinds";
@@ -95,6 +108,12 @@ inline constexpr std::string_view kInvReplyWaitFirst = "invocation.reply_wait_us
 inline constexpr std::string_view kInvReplyWaitMajority = "invocation.reply_wait_us.majority";
 inline constexpr std::string_view kInvReplyWaitAll = "invocation.reply_wait_us.all";
 inline constexpr std::string_view kInvReplyWaitOther = "invocation.reply_wait_us.other";
+/// Requests dropped at a server because their deadline had already passed
+/// (graceful degradation: shed work nobody is waiting for).
+inline constexpr std::string_view kInvShed = "invocation.shed";
+/// Bind admissions refused because the server endpoint was overloaded; the
+/// client's invite times out and its capped backoff defers the retry.
+inline constexpr std::string_view kInvBindShed = "invocation.bind_shed";
 
 // -- directory ----------------------------------------------------------------
 inline constexpr std::string_view kDirectoryEvictions = "directory.evictions";

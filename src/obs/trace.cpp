@@ -38,6 +38,9 @@ const char* trace_kind_name(TraceKind kind) {
         case TraceKind::kOrderAssigned: return "order_assigned";
         case TraceKind::kConfigProposed: return "config_proposed";
         case TraceKind::kConfigSwitched: return "config_switched";
+        case TraceKind::kSuspected: return "suspected";
+        case TraceKind::kRequestShed: return "request_shed";
+        case TraceKind::kBindShed: return "bind_shed";
     }
     return "?";
 }

@@ -63,11 +63,15 @@ enum class TraceKind : std::uint8_t {
     // runtime reconfiguration
     kConfigProposed = 26,    // a ConfigChangeMsg delivered in total order
     kConfigSwitched = 27,    // a view install applied a new configuration
+    // gray-failure resilience
+    kSuspected = 28,         // the failure detector raised a suspicion
+    kRequestShed = 29,       // a server shed a request past its deadline
+    kBindShed = 30,          // an overloaded server refused a bind admission
 };
 
 /// Number of TraceKind values; keep in sync with the enum above (the
 /// exhaustiveness test in tests/obs_test.cpp fails if a kind lacks a name).
-inline constexpr std::size_t kTraceKindCount = 28;
+inline constexpr std::size_t kTraceKindCount = 31;
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);
 

@@ -12,6 +12,12 @@ void CpuQueue::execute(SimDuration cost, std::function<void()> fn) {
     NEWTOP_EXPECTS(cost >= 0, "CPU cost must be non-negative");
     NEWTOP_EXPECTS(fn != nullptr, "CPU work must be callable");
     if (dead_) return;
+    // The slowdown multiply only happens while a gray fault is active, so
+    // unslowed hosts compute byte-identical schedules to a build without
+    // the feature.
+    if (slowdown_ != 1.0) {
+        cost = static_cast<SimDuration>(static_cast<double>(cost) * slowdown_);
+    }
     const SimTime start = std::max(scheduler_->now(), busy_until_);
     if (metrics_ != nullptr) {
         metrics_->add(obs::metric::kCpuTasks);
@@ -24,6 +30,11 @@ void CpuQueue::execute(SimDuration cost, std::function<void()> fn) {
     scheduler_->schedule_at(busy_until_, [this, epoch, fn = std::move(fn)] {
         if (epoch == epoch_) fn();
     });
+}
+
+void CpuQueue::set_slowdown(double factor) {
+    NEWTOP_EXPECTS(factor > 0.0, "CPU slowdown factor must be positive");
+    slowdown_ = factor;
 }
 
 void CpuQueue::reset() {

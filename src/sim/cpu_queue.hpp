@@ -32,6 +32,12 @@ public:
     /// through the scheduler so that handlers never run re-entrantly.
     void execute(SimDuration cost, std::function<void()> fn);
 
+    /// Scale the cost of every subsequently submitted task by `factor`
+    /// (gray-failure injection: a slow-but-alive host).  1.0 restores
+    /// nominal speed; already-queued work keeps its original cost.
+    void set_slowdown(double factor);
+    [[nodiscard]] double slowdown() const { return slowdown_; }
+
     /// Time at which currently queued work completes.
     [[nodiscard]] SimTime busy_until() const { return busy_until_; }
 
@@ -66,6 +72,7 @@ private:
     obs::MetricsRegistry* metrics_{nullptr};
     SimTime busy_until_{0};
     SimDuration consumed_{0};
+    double slowdown_{1.0};
     std::uint64_t epoch_{0};
     bool dead_{false};
 };

@@ -20,7 +20,7 @@ namespace {
 
 int usage() {
     std::cerr << "usage: newtop_fuzz [--seeds N] [--base B] [--seed S] [--no-shrink]\n"
-                 "                   [--print] [--reconfig]\n"
+                 "                   [--print] [--reconfig] [--gray]\n"
                  "  --seeds N     run a campaign over N consecutive seeds (default 50)\n"
                  "  --base B      first seed of the campaign block (default 1)\n"
                  "  --seed S      run exactly one seed (also: NEWTOP_FUZZ_SEED env)\n"
@@ -30,7 +30,10 @@ int usage() {
                  "  --reconfig    enable mid-run reconfiguration faults (also:\n"
                  "                NEWTOP_FUZZ_RECONFIG=1 env); a seed generates a\n"
                  "                different scenario with this on, so replays must\n"
-                 "                match the campaign's flag\n";
+                 "                match the campaign's flag\n"
+                 "  --gray        enable gray failures (slow nodes, sick links,\n"
+                 "                flapping sites; also: NEWTOP_FUZZ_GRAY=1 env);\n"
+                 "                same replay-flag caveat as --reconfig\n";
     return 2;
 }
 
@@ -53,6 +56,10 @@ int main(int argc, char** argv) {
     // newtop-lint: allow(getenv): replay knob read once at startup, before any simulation runs
     if (const char* env = std::getenv("NEWTOP_FUZZ_RECONFIG"); env != nullptr && *env == '1') {
         options.limits.allow_reconfigs = true;
+    }
+    // newtop-lint: allow(getenv): replay knob read once at startup, before any simulation runs
+    if (const char* env = std::getenv("NEWTOP_FUZZ_GRAY"); env != nullptr && *env == '1') {
+        options.limits.allow_gray = true;
     }
 
     for (int i = 1; i < argc; ++i) {
@@ -80,6 +87,8 @@ int main(int argc, char** argv) {
             options.run.keep_trace = true;
         } else if (arg == "--reconfig") {
             options.limits.allow_reconfigs = true;
+        } else if (arg == "--gray") {
+            options.limits.allow_gray = true;
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
             return usage();
@@ -119,10 +128,11 @@ int main(int argc, char** argv) {
     if (!result.ok()) {
         const char* reconfig_env =
             options.limits.allow_reconfigs ? " NEWTOP_FUZZ_RECONFIG=1" : "";
+        const char* gray_env = options.limits.allow_gray ? " NEWTOP_FUZZ_GRAY=1" : "";
         std::cout << "=====================================================\n"
                   << "FAILING SEED: " << result.first_failure->seed << "\n"
                   << "replay with: NEWTOP_FUZZ_SEED=" << result.first_failure->seed
-                  << reconfig_env << " newtop_fuzz\n"
+                  << reconfig_env << gray_env << " newtop_fuzz\n"
                   << "=====================================================\n";
         return 1;
     }
